@@ -1,0 +1,67 @@
+/// \file iceberg_threat.cpp
+/// \brief The paper's iceberg danger-estimation query (§VI, Fig. 8).
+///
+/// Each iceberg's current position is normally distributed around its last
+/// sighting, with uncertainty and danger both driven by sighting age. For
+/// each ship we compute the total threat from icebergs with more than a
+/// 0.1% chance of being nearby. PIP answers *exactly*: proximity
+/// factorizes into per-axis interval constraints on independent normals,
+/// which the expectation operator integrates through CDFs without drawing
+/// a single sample.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/workload/iceberg.h"
+
+using namespace pip;
+using workload::IcebergConfig;
+using workload::IcebergData;
+
+int main() {
+  IcebergConfig config;
+  config.num_icebergs = 120;
+  config.num_ships = 20;
+  IcebergData data = workload::GenerateIceberg(config);
+
+  std::printf("Tracking %zu icebergs, %zu ships, proximity %.0f nmi.\n\n",
+              data.sightings.num_rows(), data.ships.num_rows(),
+              config.proximity);
+
+  workload::SeriesResult pip =
+      workload::RunIcebergPip(data, config, /*seed=*/3).value();
+  std::printf("PIP evaluated all %zu ship threats exactly in %.3f s "
+              "(model build: %.3f s).\n\n",
+              pip.per_item.size(), pip.sample_seconds, pip.query_seconds);
+
+  // Rank ships by threat.
+  std::vector<size_t> order(pip.per_item.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pip.per_item[a] > pip.per_item[b];
+  });
+  std::printf("Most endangered ships:\n");
+  std::printf("%8s %10s %10s %10s\n", "ship", "x", "y", "threat");
+  for (size_t i = 0; i < std::min<size_t>(5, order.size()); ++i) {
+    const Row& ship = data.ships.rows()[order[i]];
+    std::printf("%8lld %10.1f %10.1f %10.4f\n",
+                static_cast<long long>(ship[0].int_value()),
+                ship[1].double_value(), ship[2].double_value(),
+                pip.per_item[order[i]]);
+  }
+
+  // Contrast with the sample-first estimate at 10k worlds.
+  workload::SeriesResult sf =
+      workload::RunIcebergSampleFirst(data, config, 10000, 3).value();
+  double worst = 0.0;
+  for (size_t i = 0; i < pip.per_item.size(); ++i) {
+    if (pip.per_item[i] > 1e-9) {
+      worst = std::max(worst, std::fabs(sf.per_item[i] - pip.per_item[i]) /
+                                  pip.per_item[i]);
+    }
+  }
+  std::printf("\nSample-First at 10,000 worlds took %.2f s and deviates by "
+              "up to %.1f%% per ship.\n",
+              sf.query_seconds + sf.sample_seconds, 100.0 * worst);
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file sql_interface.cpp
+/// \brief PIP through its SQL surface (paper §V): uncertain data behaves
+/// like ordinary data until a probability-removing function collapses it.
+///
+/// Distribution constructors in INSERT statements play the role of
+/// CREATE_VARIABLE; WHERE clauses mix deterministic and probabilistic
+/// predicates freely (the engine moves the probabilistic atoms into row
+/// conditions, as the paper's Postgres rewriter does with CTYPE columns).
+
+#include <cstdio>
+
+#include "src/sql/session.h"
+
+using namespace pip;
+
+namespace {
+
+void Run(sql::Session& session, const std::string& stmt) {
+  std::printf("pip> %s\n", stmt.c_str());
+  auto result = session.Execute(stmt);
+  if (!result.ok()) {
+    std::printf("  !! %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", result.value().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db(/*seed=*/2026);
+  sql::Session session(&db);
+  session.mutable_options()->fixed_samples = 10000;
+
+  // A product catalogue with uncertain demand and margins.
+  Run(session, "CREATE TABLE products (name, price, demand)");
+  Run(session,
+      "INSERT INTO products VALUES "
+      "('widget', 19.99, Poisson(140)), "
+      "('gadget', 149.0, Poisson(22)), "
+      "('doohickey', 2.5, Poisson(890))");
+
+  // Plain SELECT: a symbolic c-table comes back.
+  Run(session, "SELECT name, price * demand AS revenue FROM products");
+
+  // Probability-removing aggregates collapse it to numbers.
+  Run(session,
+      "SELECT expected_sum(price * demand) AS total_revenue, "
+      "expected_count(*) AS n FROM products");
+
+  // Selective query: only scenarios where the widget demand is extreme.
+  // The Poisson tail probability is integrated exactly via its CDF.
+  Run(session,
+      "SELECT name, expectation(price * demand) AS rev, conf() "
+      "FROM products WHERE demand > 160 AND name = 'widget'");
+
+  // Shipping model joined against orders, the paper's running example.
+  Run(session, "CREATE TABLE shipping (dest, days)");
+  Run(session,
+      "INSERT INTO shipping VALUES ('NY', Normal(5, 1)), "
+      "('LA', Exponential(0.25))");
+  Run(session, "CREATE TABLE orders (cust, dest, amount)");
+  Run(session,
+      "INSERT INTO orders VALUES ('Joe', 'NY', Normal(120, 20)), "
+      "('Bob', 'LA', Normal(340, 45))");
+  Run(session,
+      "SELECT expected_sum(amount) AS at_risk FROM orders, shipping "
+      "WHERE dest = shipping.dest AND days >= 7 AND cust = 'Joe'");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file supply_chain.cpp
+/// \brief Supply-risk analysis: the paper's Q5 scenario as an application.
+///
+/// Suppliers' production capacity follows an Exponential model; product
+/// demand follows Poisson models fitted per part. We ask, for each part,
+/// how large the shortfall is expected to be *in the scenarios where
+/// demand actually exceeds supply* — a conditional expectation whose
+/// two-variable constraint (demand > supply) admits no CDF shortcut, so
+/// PIP falls back to per-sample rejection, scaling its effort to each
+/// part's selectivity automatically (paper §VI: "PIP is able to account
+/// for selectivity automatically").
+
+#include <cstdio>
+
+#include "src/sampling/expectation.h"
+#include "src/workload/queries.h"
+
+using namespace pip;
+
+int main() {
+  workload::TpchConfig config;
+  config.num_parts = 25;
+  config.num_customers = 10;
+  workload::TpchData data = workload::GenerateTpch(config);
+
+  const double target_selectivity = 0.05;
+
+  SamplingOptions opts;
+  opts.fixed_samples = 2000;
+  workload::SeriesResult result =
+      workload::RunQ5Pip(data, target_selectivity, /*seed=*/5, opts).value();
+  std::vector<double> truth = workload::Q5Truth(data, target_selectivity);
+
+  std::printf("Expected shortfall given undersupply (P[undersupply] = "
+              "%.0f%% per part):\n\n", 100.0 * target_selectivity);
+  std::printf("%8s %12s %14s %14s %10s\n", "part", "demand λ",
+              "E[shortfall]", "closed form", "rel.err");
+  for (size_t i = 0; i < std::min<size_t>(10, result.per_item.size()); ++i) {
+    double lambda = data.part.rows()[i][3].double_value();
+    double rel = truth[i] > 0
+                     ? std::fabs(result.per_item[i] - truth[i]) / truth[i]
+                     : 0.0;
+    std::printf("%8zu %12.2f %14.3f %14.3f %9.1f%%\n", i, lambda,
+                result.per_item[i], truth[i], 100.0 * rel);
+  }
+
+  std::printf("\nModel build: %.3f s; sampling: %.3f s "
+              "(rejection sampling, effort scaled per part).\n",
+              result.query_seconds, result.sample_seconds);
+
+  // Risk summary: total expected shortfall contribution, weighting each
+  // conditional shortfall by the probability of the scenario.
+  double weighted = 0.0;
+  for (size_t i = 0; i < result.per_item.size(); ++i) {
+    weighted += result.per_item[i] * target_selectivity;
+  }
+  std::printf("Probability-weighted total shortfall across %zu parts: "
+              "%.2f units.\n", result.per_item.size(), weighted);
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "src/common/interval.h"
+
+#include <sstream>
+
+namespace pip {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Multiplication on extended reals treating 0 * inf as an indeterminate
+// that the caller widens; here we return 0 which, combined with taking
+// min/max over all corner products including the widened ones, stays sound
+// because we check for the indeterminate case explicitly in Mul.
+double SafeMul(double a, double b) {
+  if ((a == 0.0 && std::isinf(b)) || (b == 0.0 && std::isinf(a))) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+Interval Add(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo + b.lo;
+  double hi = a.hi + b.hi;
+  // -inf + inf can only arise from mixing opposite unbounded endpoints;
+  // conservatively widen that endpoint.
+  if (std::isnan(lo)) lo = -kInf;
+  if (std::isnan(hi)) hi = kInf;
+  return Interval(lo, hi);
+}
+
+Interval Neg(const Interval& a) {
+  if (a.IsEmpty()) return Interval::Empty();
+  return Interval(-a.hi, -a.lo);
+}
+
+Interval Sub(const Interval& a, const Interval& b) { return Add(a, Neg(b)); }
+
+Interval Mul(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double c[4] = {SafeMul(a.lo, b.lo), SafeMul(a.lo, b.hi), SafeMul(a.hi, b.lo),
+                 SafeMul(a.hi, b.hi)};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // If an indeterminate 0*inf corner participated, widen: whenever one
+  // operand straddles or touches 0 and the other is unbounded, the product
+  // can be anything of that sign; being conservative keeps Alg 3.2 sound
+  // (we may fail to detect an inconsistency but never invent one).
+  bool a_zero = a.Contains(0.0), b_zero = b.Contains(0.0);
+  bool a_unbounded = std::isinf(a.lo) || std::isinf(a.hi);
+  bool b_unbounded = std::isinf(b.lo) || std::isinf(b.hi);
+  if ((a_zero && b_unbounded) || (b_zero && a_unbounded)) {
+    return Interval::All();
+  }
+  return Interval(lo, hi);
+}
+
+Interval Div(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  if (b.Contains(0.0)) return Interval::All();
+  return Mul(a, Interval(1.0 / b.hi, 1.0 / b.lo));
+}
+
+Interval Pow(const Interval& a, int n) {
+  if (a.IsEmpty()) return Interval::Empty();
+  if (n == 0) return Interval::Point(1.0);
+  if (n == 1) return a;
+  if (n % 2 == 1) {
+    double lo = std::pow(a.lo, n), hi = std::pow(a.hi, n);
+    return Interval(lo, hi);
+  }
+  // Even power: minimum at 0 if the interval straddles it.
+  double alo = std::pow(std::fabs(a.lo), n), ahi = std::pow(std::fabs(a.hi), n);
+  double hi = std::max(alo, ahi);
+  double lo = a.Contains(0.0) ? 0.0 : std::min(alo, ahi);
+  return Interval(lo, hi);
+}
+
+}  // namespace pip

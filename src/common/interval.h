@@ -1,0 +1,96 @@
+/// \file interval.h
+/// \brief Closed interval arithmetic over the extended reals.
+///
+/// Used by the consistency checker (Alg. 3.2) to propagate variable bounds
+/// through constraint atoms, and by the CDF-constrained sampler to restrict
+/// the sampling region (§IV-A(b)).
+
+#ifndef PIP_COMMON_INTERVAL_H_
+#define PIP_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace pip {
+
+/// \brief A closed interval [lo, hi] over the extended reals.
+///
+/// The empty interval is represented canonically with lo > hi. All
+/// operations treat +/-infinity correctly; indeterminate products
+/// (0 * inf) conservatively widen to the full line.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  Interval() = default;
+  Interval(double l, double h) : lo(l), hi(h) {}
+
+  /// The whole extended real line (the "unbounded" interval).
+  static Interval All() { return Interval(); }
+  /// The canonical empty interval.
+  static Interval Empty() { return Interval(1.0, -1.0); }
+  /// A single point [x, x].
+  static Interval Point(double x) { return Interval(x, x); }
+  /// [lo, +inf).
+  static Interval AtLeast(double l) {
+    return Interval(l, std::numeric_limits<double>::infinity());
+  }
+  /// (-inf, hi].
+  static Interval AtMost(double h) {
+    return Interval(-std::numeric_limits<double>::infinity(), h);
+  }
+
+  bool IsEmpty() const { return lo > hi; }
+  bool IsAll() const { return std::isinf(lo) && lo < 0 && std::isinf(hi) && hi > 0; }
+  /// Both endpoints finite (and nonempty).
+  bool IsBounded() const {
+    return !IsEmpty() && std::isfinite(lo) && std::isfinite(hi);
+  }
+  /// At least one endpoint finite.
+  bool HasAnyBound() const {
+    return !IsEmpty() && (std::isfinite(lo) || std::isfinite(hi));
+  }
+  bool Contains(double x) const { return !IsEmpty() && x >= lo && x <= hi; }
+  /// Width hi - lo; 0 for points, inf when unbounded, negative never
+  /// (empty returns 0).
+  double Width() const { return IsEmpty() ? 0.0 : hi - lo; }
+
+  Interval Intersect(const Interval& o) const {
+    if (IsEmpty() || o.IsEmpty()) return Empty();
+    Interval r(std::max(lo, o.lo), std::min(hi, o.hi));
+    return r.lo > r.hi ? Empty() : r;
+  }
+
+  /// Smallest interval containing both (convex hull).
+  Interval Hull(const Interval& o) const {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return Interval(std::min(lo, o.lo), std::max(hi, o.hi));
+  }
+
+  bool operator==(const Interval& o) const {
+    if (IsEmpty() && o.IsEmpty()) return true;
+    return lo == o.lo && hi == o.hi;
+  }
+
+  std::string ToString() const;
+};
+
+/// Interval sum: [a]+[b].
+Interval Add(const Interval& a, const Interval& b);
+/// Interval difference: [a]-[b].
+Interval Sub(const Interval& a, const Interval& b);
+/// Interval negation.
+Interval Neg(const Interval& a);
+/// Interval product (conservative on 0*inf).
+Interval Mul(const Interval& a, const Interval& b);
+/// Interval quotient; if b contains 0 the result widens to All().
+Interval Div(const Interval& a, const Interval& b);
+/// Interval integer power for n >= 0.
+Interval Pow(const Interval& a, int n);
+
+}  // namespace pip
+
+#endif  // PIP_COMMON_INTERVAL_H_

@@ -1,0 +1,124 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace pip {
+
+namespace {
+
+inline uint64_t SplitMix64Step(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Avalanche(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t MixBits(uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
+  uint64_t h = Avalanche(a + 0x9e3779b97f4a7c15ULL);
+  h = Avalanche(h ^ Rotl(b, 17) ^ 0xc2b2ae3d27d4eb4fULL);
+  h = Avalanche(h + Rotl(c, 31) + 0x165667b19e3779f9ULL);
+  h = Avalanche(h ^ Rotl(d, 47) ^ 0x27d4eb2f165667c5ULL);
+  return h;
+}
+
+uint64_t RandomStream::NextBounded(uint64_t n) {
+  PIP_CHECK(n > 0);
+  // Lemire's multiply-shift rejection method: unbiased.
+  uint64_t x = NextBits();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = NextBits();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double RandomStream::NextGaussian() {
+  // Box-Muller; uses two uniforms per pair but keeps the stream stateless
+  // apart from the counter (no cached second value, to preserve replay
+  // determinism regardless of call interleavings).
+  double u1 = NextOpenUniform();
+  double u2 = NextUniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& word : s_) word = SplitMix64Step(x);
+}
+
+uint64_t Rng::NextBits() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextUniform() {
+  return static_cast<double>(NextBits() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextUniform();
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  PIP_CHECK(n > 0);
+  uint64_t x = NextBits();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = NextBits();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  PIP_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextUniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double u2 = NextUniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double rate) {
+  PIP_CHECK(rate > 0);
+  double u = NextUniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+}  // namespace pip

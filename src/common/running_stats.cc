@@ -1,0 +1,16 @@
+#include "src/common/running_stats.h"
+
+namespace pip {
+
+double NormalizedRmsError(const std::vector<double>& estimates, double truth) {
+  if (estimates.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (double e : estimates) {
+    double d = e - truth;
+    sum_sq += d * d;
+  }
+  double rms = std::sqrt(sum_sq / static_cast<double>(estimates.size()));
+  return truth != 0.0 ? rms / std::fabs(truth) : rms;
+}
+
+}  // namespace pip

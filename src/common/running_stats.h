@@ -1,0 +1,62 @@
+/// \file running_stats.h
+/// \brief Numerically stable streaming moments (Welford) and error metrics.
+///
+/// The expectation operator (Alg. 4.3) tracks Sum and SumSq of accepted
+/// samples to drive its (epsilon, delta) stopping rule; we centralize that
+/// in a Welford accumulator which is stable for long runs.
+
+#ifndef PIP_COMMON_RUNNING_STATS_H_
+#define PIP_COMMON_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pip {
+
+/// \brief Streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void Reset() {
+    n_ = 0;
+    mean_ = 0;
+    m2_ = 0;
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (n in the denominator); 0 for n < 2.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (n-1 in the denominator); 0 for n < 2.
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean estimate; inf for n == 0.
+  double standard_error() const {
+    if (n_ == 0) return std::numeric_limits<double>::infinity();
+    return std::sqrt(sample_variance() / static_cast<double>(n_));
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// Root-mean-square deviation of estimates around a known truth,
+/// normalized by |truth| when truth != 0 (relative RMS, as in Fig. 7).
+double NormalizedRmsError(const std::vector<double>& estimates, double truth);
+
+}  // namespace pip
+
+#endif  // PIP_COMMON_RUNNING_STATS_H_

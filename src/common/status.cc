@@ -1,0 +1,48 @@
+#include "src/common/status.h"
+
+namespace pip {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kInconsistent:
+      return "Inconsistent";
+    case StatusCode::kTypeMismatch:
+      return "TypeMismatch";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void FatalCheckFailure(const char* file, int line, const char* expr,
+                       const std::string& msg) {
+  std::cerr << "PIP_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) std::cerr << " (" << msg << ")";
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pip

@@ -1,0 +1,193 @@
+/// \file status.h
+/// \brief Error handling primitives: Status and StatusOr.
+///
+/// PIP follows the Arrow/RocksDB idiom: fallible public APIs return a
+/// `Status` (or `StatusOr<T>` when they produce a value) rather than
+/// throwing exceptions. Internal invariant violations use PIP_CHECK.
+
+#ifndef PIP_COMMON_STATUS_H_
+#define PIP_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace pip {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Named entity (table, distribution, column) missing.
+  kAlreadyExists,     ///< Attempt to re-register an existing name.
+  kOutOfRange,        ///< Index or parameter outside the valid domain.
+  kUnimplemented,     ///< Feature intentionally not (yet) supported.
+  kInternal,          ///< Invariant violation inside the engine.
+  kInconsistent,      ///< A c-table condition is unsatisfiable (NAN result).
+  kTypeMismatch,      ///< Value/schema type error.
+};
+
+/// Human-readable name of a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief The result of an operation that can fail.
+///
+/// A Status is either OK (the default) or carries a code and a message.
+/// Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   StatusOr<double> r = dist->Cdf(params, x);
+///   if (!r.ok()) return r.status();
+///   double v = r.value();
+/// \endcode
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (success).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "FATAL: StatusOr::value() on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Builds an internal-error message with file/line context for PIP_CHECK.
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+}  // namespace internal
+
+}  // namespace pip
+
+/// Aborts with a diagnostic if `cond` is false. For engine invariants only;
+/// user-facing validation must return Status instead.
+#define PIP_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::pip::internal::FatalCheckFailure(__FILE__, __LINE__, #cond, ""); \
+    }                                                                  \
+  } while (0)
+
+#define PIP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pip::internal::FatalCheckFailure(__FILE__, __LINE__, #cond, msg); \
+    }                                                                     \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define PIP_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::pip::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define PIP_CONCAT_IMPL(a, b) a##b
+#define PIP_CONCAT(a, b) PIP_CONCAT_IMPL(a, b)
+
+/// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+/// on failure returns the error to the caller.
+#define PIP_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto PIP_CONCAT(_statusor_, __LINE__) = (expr);           \
+  if (!PIP_CONCAT(_statusor_, __LINE__).ok())               \
+    return PIP_CONCAT(_statusor_, __LINE__).status();       \
+  lhs = std::move(PIP_CONCAT(_statusor_, __LINE__)).value()
+
+#endif  // PIP_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+/// \file timer.h
+/// \brief Wall-clock timing for the benchmark harnesses.
+
+#ifndef PIP_COMMON_TIMER_H_
+#define PIP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pip {
+
+/// \brief A simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_COMMON_TIMER_H_

@@ -1,0 +1,106 @@
+/// \file consistency.h
+/// \brief Condition consistency checking (paper Alg. 3.2).
+///
+/// Conjoining contradictory atoms (selection, product, difference) can make
+/// a row's condition unsatisfiable; such rows exist in no world and may be
+/// removed. Deciding consistency in general is hard, so PIP detects the
+/// straightforward cases (§III-C) and leaves the rest to the Monte Carlo
+/// phase:
+///   1. Variable-free conditions are decided outright (by Condition).
+///   2. X = c1 AND X = c2 with c1 != c2 is inconsistent (discrete).
+///   3. Equalities over continuous variables carry zero probability mass
+///      and are treated as inconsistent; disequalities as true.
+///   4. Linear atoms drive interval bound propagation to a fixpoint
+///      (tighten1); an empty bound set is inconsistent. Nonlinear
+///      polynomial atoms are refuted by interval evaluation when possible.
+///
+/// The verdict is *strong* when no atom had to be skipped and *weak*
+/// otherwise — exactly the bold/italic distinction of Alg. 3.2. The bounds
+/// map computed here is reused by the CDF-constrained sampler (Alg. 4.3
+/// line 7 "save the bounds map S").
+
+#ifndef PIP_CONSTRAINTS_CONSISTENCY_H_
+#define PIP_CONSTRAINTS_CONSISTENCY_H_
+
+#include <map>
+
+#include "src/common/interval.h"
+#include "src/dist/variable_pool.h"
+#include "src/expr/condition.h"
+
+namespace pip {
+
+enum class ConsistencyVerdict {
+  kInconsistent,        ///< No satisfying assignment (or zero mass). Strong.
+  kConsistent,          ///< All atoms processed; no contradiction found. Strong
+                        ///< in the Alg. 3.2 sense (still a semi-decision).
+  kWeaklyConsistent,    ///< Some atoms skipped; no contradiction found.
+};
+
+const char* ConsistencyVerdictName(ConsistencyVerdict v);
+
+/// \brief Outcome of a consistency check.
+struct ConsistencyResult {
+  ConsistencyVerdict verdict = ConsistencyVerdict::kConsistent;
+  /// Refined per-variable bounds (only entries tighter than the variable's
+  /// support are guaranteed to be present; missing = unconstrained).
+  std::map<VarRef, Interval> bounds;
+
+  bool inconsistent() const {
+    return verdict == ConsistencyVerdict::kInconsistent;
+  }
+
+  /// Bounds for `v`, defaulting to the full line.
+  Interval BoundsFor(VarRef v) const {
+    auto it = bounds.find(v);
+    return it == bounds.end() ? Interval::All() : it->second;
+  }
+};
+
+/// \brief Options for CheckConsistency.
+struct ConsistencyOptions {
+  /// Fixpoint iteration cap (Alg. 3.2's while loop; each pass is O(atoms)).
+  int max_iterations = 16;
+  /// Minimum bound improvement that counts as progress.
+  double min_progress = 1e-12;
+  /// Seed the bounds map with each variable's distribution support
+  /// (a sound strengthening of the paper's [-inf, inf] start).
+  bool use_distribution_support = true;
+};
+
+/// Checks the consistency of a conjunction of atoms. `pool` resolves which
+/// variables are discrete vs continuous and their supports.
+ConsistencyResult CheckConsistency(const Condition& condition,
+                                   const VariablePool& pool,
+                                   const ConsistencyOptions& options = {});
+
+/// tighten1 (Alg. 3.2): given a *linear* atom `diff (op) 0` in normal form
+/// and current bounds for the other variables, returns the implied bound
+/// interval for `target`. Returns All() when no information is derivable
+/// (e.g. another variable is unbounded on the relevant side).
+Interval Tighten1(const LinearForm& form, CmpOp op, VarRef target,
+                  const std::map<VarRef, Interval>& bounds);
+
+/// \brief A univariate quadratic a*x^2 + b*x + c in one variable.
+struct UnivariateQuadratic {
+  VarRef var;
+  double a = 0.0, b = 0.0, c = 0.0;
+};
+
+/// Extracts a univariate quadratic from an expression that is polynomial
+/// of degree <= 2 in exactly one variable. Returns nullopt for any other
+/// shape (multi-variable, higher degree, non-polynomial).
+std::optional<UnivariateQuadratic> ToUnivariateQuadratic(const ExprPtr& expr);
+
+/// tighten2 (the paper's "similar, albeit more complex enumeration of
+/// coefficients" for degree-2 atoms): the set of x in `current` satisfying
+/// (a*x^2 + b*x + c) (op) 0, hulled into an interval. Returns Empty() when
+/// the atom is unsatisfiable within `current` — a sound inconsistency
+/// proof. Strict and non-strict operators are treated alike (closed
+/// intervals; boundary points carry no mass for continuous variables).
+Interval Tighten2(const UnivariateQuadratic& q, CmpOp op,
+                  const Interval& current);
+
+}  // namespace pip
+
+#endif  // PIP_CONSTRAINTS_CONSISTENCY_H_

@@ -1,0 +1,81 @@
+#include "src/constraints/independence.h"
+
+#include <map>
+#include <numeric>
+
+namespace pip {
+
+namespace {
+
+/// Plain union-find over dense indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<VariableGroup> PartitionIndependent(const Condition& condition,
+                                                const VarSet& target_vars) {
+  // Dense-index the distinct variable *ids* (components of one variable
+  // are inseparable, so the partition runs at id granularity).
+  std::map<uint64_t, size_t> id_index;
+  std::vector<VarSet> id_components;  // Components seen per id.
+  auto intern = [&](const VarRef& v) {
+    auto [it, inserted] = id_index.emplace(v.var_id, id_components.size());
+    if (inserted) id_components.emplace_back();
+    id_components[it->second].insert(v);
+    return it->second;
+  };
+
+  std::vector<std::vector<size_t>> atom_ids(condition.atoms().size());
+  for (size_t i = 0; i < condition.atoms().size(); ++i) {
+    for (const VarRef& v : condition.atoms()[i].Variables()) {
+      atom_ids[i].push_back(intern(v));
+    }
+  }
+  std::vector<size_t> target_ids;
+  for (const VarRef& v : target_vars) target_ids.push_back(intern(v));
+
+  UnionFind uf(id_components.size());
+  for (const auto& ids : atom_ids) {
+    for (size_t i = 1; i < ids.size(); ++i) uf.Merge(ids[0], ids[i]);
+  }
+
+  // Collect groups in deterministic (first-seen root) order.
+  std::map<size_t, size_t> root_to_group;
+  std::vector<VariableGroup> groups;
+  auto group_of = [&](size_t id) -> VariableGroup& {
+    size_t root = uf.Find(id);
+    auto [it, inserted] = root_to_group.emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    return groups[it->second];
+  };
+
+  for (size_t id = 0; id < id_components.size(); ++id) {
+    VariableGroup& g = group_of(id);
+    g.vars.insert(id_components[id].begin(), id_components[id].end());
+  }
+  for (size_t i = 0; i < atom_ids.size(); ++i) {
+    if (atom_ids[i].empty()) continue;  // Variable-free atom: no group.
+    group_of(atom_ids[i][0]).atom_indices.push_back(i);
+  }
+  for (size_t id : target_ids) group_of(id).touches_target = true;
+
+  return groups;
+}
+
+}  // namespace pip

@@ -1,0 +1,47 @@
+/// \file independence.h
+/// \brief Minimal independent subsets of constraints (paper §IV-A(c)).
+///
+/// "Prior to sampling, PIP subdivides constraint predicates into minimal
+/// independent subsets; sets of predicates sharing no common variables ...
+/// variables representing distinct values from a multivariate distribution
+/// are treated as the set of all of their component variables."
+///
+/// Because input variables are independent across ids (dependence only
+/// enters through shared ids / multivariate components), groups that share
+/// no variable id are statistically independent and can be sampled — and
+/// their acceptance probabilities multiplied — separately. Sampling fewer
+/// variables per rejection loop both reduces the work lost to a rejection
+/// and makes rejections rarer.
+
+#ifndef PIP_CONSTRAINTS_INDEPENDENCE_H_
+#define PIP_CONSTRAINTS_INDEPENDENCE_H_
+
+#include <vector>
+
+#include "src/expr/condition.h"
+
+namespace pip {
+
+/// \brief One minimal independent subset.
+struct VariableGroup {
+  /// Every variable component in the group.
+  VarSet vars;
+  /// Indices into the condition's atom list of the atoms constraining this
+  /// group. Empty for groups induced only by the target expression.
+  std::vector<size_t> atom_indices;
+  /// True when at least one target-expression variable is in the group —
+  /// Alg. 4.3 samples only these groups for the expectation itself; the
+  /// others matter only for the row probability.
+  bool touches_target = false;
+};
+
+/// Partitions the variables of `condition` (plus `target_vars`, the
+/// variables of the expression being measured) into minimal independent
+/// subsets. Components of one multivariate variable (same var_id) always
+/// land in the same group.
+std::vector<VariableGroup> PartitionIndependent(const Condition& condition,
+                                                const VarSet& target_vars);
+
+}  // namespace pip
+
+#endif  // PIP_CONSTRAINTS_INDEPENDENCE_H_

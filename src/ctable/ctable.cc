@@ -1,0 +1,94 @@
+#include "src/ctable/ctable.h"
+
+#include <sstream>
+
+namespace pip {
+
+bool CTableRow::IsDeterministic() const {
+  if (!condition.IsDeterministic()) return false;
+  for (const auto& c : cells) {
+    if (!c->IsDeterministic()) return false;
+  }
+  return true;
+}
+
+VarSet CTableRow::Variables() const {
+  VarSet out;
+  for (const auto& c : cells) c->CollectVariables(&out);
+  condition.CollectVariables(&out);
+  return out;
+}
+
+CTable CTable::FromTable(const Table& table) {
+  CTable out(table.schema());
+  for (const auto& row : table.rows()) {
+    CTableRow crow;
+    crow.cells.reserve(row.size());
+    for (const auto& v : row) crow.cells.push_back(Expr::Constant(v));
+    PIP_CHECK(out.Append(std::move(crow)).ok());
+  }
+  return out;
+}
+
+Status CTable::Append(CTableRow row) {
+  if (row.cells.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.cells.size()) +
+        " does not match schema " + schema_.ToString());
+  }
+  if (row.condition.IsKnownFalse()) return Status::OK();
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status CTable::Append(std::vector<ExprPtr> cells, Condition condition) {
+  CTableRow row;
+  row.cells = std::move(cells);
+  row.condition = std::move(condition);
+  return Append(std::move(row));
+}
+
+StatusOr<Table> CTable::Instantiate(const Assignment& a) const {
+  Table out(schema_);
+  for (const auto& row : rows_) {
+    PIP_ASSIGN_OR_RETURN(bool present, row.condition.Eval(a));
+    if (!present) continue;
+    Row values;
+    values.reserve(row.cells.size());
+    for (const auto& cell : row.cells) {
+      PIP_ASSIGN_OR_RETURN(Value v, cell->Eval(a));
+      values.push_back(std::move(v));
+    }
+    PIP_RETURN_IF_ERROR(out.Append(std::move(values)));
+  }
+  return out;
+}
+
+VarSet CTable::Variables() const {
+  VarSet out;
+  for (const auto& row : rows_) {
+    for (const auto& c : row.cells) c->CollectVariables(&out);
+    row.condition.CollectVariables(&out);
+  }
+  return out;
+}
+
+std::string CTable::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " + condition\n";
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    os << "  (";
+    for (size_t c = 0; c < rows_[r].cells.size(); ++c) {
+      if (c) os << ", ";
+      os << rows_[r].cells[c]->ToString();
+    }
+    os << ") | " << rows_[r].condition.ToString() << "\n";
+  }
+  if (shown < rows_.size()) {
+    os << "  ... (" << rows_.size() - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace pip

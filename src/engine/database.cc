@@ -1,0 +1,45 @@
+#include "src/engine/database.h"
+
+namespace pip {
+
+Status Database::RegisterTable(const std::string& name, Table table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, CTable::FromTable(table));
+  return Status::OK();
+}
+
+Status Database::RegisterCTable(const std::string& name, CTable table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+void Database::MaterializeView(const std::string& name, CTable table) {
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+StatusOr<const CTable*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace pip

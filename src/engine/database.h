@@ -1,0 +1,64 @@
+/// \file database.h
+/// \brief The top-level PIP database: named tables plus the variable pool.
+///
+/// Plays the role of the modified-PostgreSQL host of the paper's §V: it
+/// owns the catalogue of (c-)tables, the CREATE_VARIABLE entry point, and
+/// hands out sampling engines configured against its variable pool.
+
+#ifndef PIP_ENGINE_DATABASE_H_
+#define PIP_ENGINE_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/ctable/ctable.h"
+#include "src/dist/variable_pool.h"
+#include "src/sampling/expectation.h"
+
+namespace pip {
+
+/// \brief An in-memory probabilistic database.
+class Database {
+ public:
+  explicit Database(uint64_t seed = VariablePool::kDefaultSeed)
+      : pool_(seed) {}
+
+  VariablePool* pool() { return &pool_; }
+  const VariablePool& pool() const { return pool_; }
+
+  /// CREATE_VARIABLE(distribution, params): allocates a fresh random
+  /// variable (paper §V-A).
+  StatusOr<VarRef> CreateVariable(const std::string& distribution,
+                                  std::vector<double> params) {
+    return pool_.Create(distribution, std::move(params));
+  }
+
+  /// Registers a deterministic table (lifted to a c-table with TRUE
+  /// conditions).
+  Status RegisterTable(const std::string& name, Table table);
+
+  /// Registers a probabilistic table.
+  Status RegisterCTable(const std::string& name, CTable table);
+
+  /// Replaces a table if present, else registers it (view
+  /// materialization: "intermediate query results or views may be
+  /// materialized", §III-A).
+  void MaterializeView(const std::string& name, CTable table);
+
+  StatusOr<const CTable*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// A sampling engine bound to this database's pool.
+  SamplingEngine MakeEngine(SamplingOptions options = {}) const {
+    return SamplingEngine(&pool_, options);
+  }
+
+ private:
+  VariablePool pool_;
+  std::unordered_map<std::string, CTable> tables_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_ENGINE_DATABASE_H_

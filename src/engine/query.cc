@@ -1,0 +1,341 @@
+#include "src/engine/query.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace pip {
+
+struct Query::Node {
+  enum class Kind {
+    kScan,
+    kValues,
+    kWhere,
+    kSelect,
+    kProduct,
+    kJoin,
+    kUnion,
+    kDistinct,
+    kExcept,
+    kExplode,
+  };
+
+  Kind kind;
+  // Payloads (unused fields empty).
+  std::string table_name;
+  CTable inline_table;
+  ColPredicate predicate;
+  std::vector<NamedColExpr> targets;
+  std::string rhs_prefix;
+  std::vector<NodePtr> children;
+};
+
+Query Query::Scan(std::string table_name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kScan;
+  node->table_name = std::move(table_name);
+  return Query(std::move(node));
+}
+
+Query Query::Values(CTable table) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kValues;
+  node->inline_table = std::move(table);
+  return Query(std::move(node));
+}
+
+Query Query::Where(ColPredicate predicate) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kWhere;
+  node->predicate = std::move(predicate);
+  node->children = {node_};
+  return Query(std::move(node));
+}
+
+Query Query::SelectCols(std::vector<NamedColExpr> targets) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kSelect;
+  node->targets = std::move(targets);
+  node->children = {node_};
+  return Query(std::move(node));
+}
+
+Query Query::CrossJoin(Query right, std::string rhs_prefix) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kProduct;
+  node->rhs_prefix = std::move(rhs_prefix);
+  node->children = {node_, right.node_};
+  return Query(std::move(node));
+}
+
+Query Query::JoinOn(Query right, ColPredicate predicate,
+                    std::string rhs_prefix) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kJoin;
+  node->predicate = std::move(predicate);
+  node->rhs_prefix = std::move(rhs_prefix);
+  node->children = {node_, right.node_};
+  return Query(std::move(node));
+}
+
+Query Query::UnionAll(Query right) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kUnion;
+  node->children = {node_, right.node_};
+  return Query(std::move(node));
+}
+
+Query Query::DistinctRows() const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kDistinct;
+  node->children = {node_};
+  return Query(std::move(node));
+}
+
+Query Query::Except(Query right) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kExcept;
+  node->children = {node_, right.node_};
+  return Query(std::move(node));
+}
+
+Query Query::Explode() const {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kExplode;
+  node->children = {node_};
+  return Query(std::move(node));
+}
+
+namespace {
+
+StatusOr<CTable> ExecuteNode(const Query::Node* node, const Database& db);
+
+}  // namespace
+
+StatusOr<CTable> Query::Execute(const Database& db) const {
+  return ExecuteNode(node_.get(), db);
+}
+
+namespace {
+
+StatusOr<CTable> ExecuteNode(const Query::Node* node, const Database& db) {
+  using Kind = Query::Node::Kind;
+  switch (node->kind) {
+    case Kind::kScan: {
+      PIP_ASSIGN_OR_RETURN(const CTable* t, db.GetTable(node->table_name));
+      return *t;
+    }
+    case Kind::kValues:
+      return node->inline_table;
+    case Kind::kWhere: {
+      PIP_ASSIGN_OR_RETURN(CTable in, ExecuteNode(node->children[0].get(), db));
+      return Select(in, node->predicate);
+    }
+    case Kind::kSelect: {
+      PIP_ASSIGN_OR_RETURN(CTable in, ExecuteNode(node->children[0].get(), db));
+      return Project(in, node->targets);
+    }
+    case Kind::kProduct: {
+      PIP_ASSIGN_OR_RETURN(CTable l, ExecuteNode(node->children[0].get(), db));
+      PIP_ASSIGN_OR_RETURN(CTable r, ExecuteNode(node->children[1].get(), db));
+      return Product(l, r, node->rhs_prefix);
+    }
+    case Kind::kJoin: {
+      PIP_ASSIGN_OR_RETURN(CTable l, ExecuteNode(node->children[0].get(), db));
+      PIP_ASSIGN_OR_RETURN(CTable r, ExecuteNode(node->children[1].get(), db));
+      return Join(l, r, node->predicate, node->rhs_prefix);
+    }
+    case Kind::kUnion: {
+      PIP_ASSIGN_OR_RETURN(CTable l, ExecuteNode(node->children[0].get(), db));
+      PIP_ASSIGN_OR_RETURN(CTable r, ExecuteNode(node->children[1].get(), db));
+      return Union(l, r);
+    }
+    case Kind::kDistinct: {
+      PIP_ASSIGN_OR_RETURN(CTable in, ExecuteNode(node->children[0].get(), db));
+      return Distinct(in);
+    }
+    case Kind::kExcept: {
+      PIP_ASSIGN_OR_RETURN(CTable l, ExecuteNode(node->children[0].get(), db));
+      PIP_ASSIGN_OR_RETURN(CTable r, ExecuteNode(node->children[1].get(), db));
+      return Difference(l, r);
+    }
+    case Kind::kExplode: {
+      PIP_ASSIGN_OR_RETURN(CTable in, ExecuteNode(node->children[0].get(), db));
+      return ExplodeDiscrete(in, db.pool());
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+std::string NodeToString(const Query::Node* node, int indent) {
+  using Kind = Query::Node::Kind;
+  std::string pad(indent * 2, ' ');
+  std::ostringstream os;
+  switch (node->kind) {
+    case Kind::kScan:
+      os << pad << "Scan(" << node->table_name << ")";
+      break;
+    case Kind::kValues:
+      os << pad << "Values(" << node->inline_table.num_rows() << " rows)";
+      break;
+    case Kind::kWhere:
+      os << pad << "Where(" << node->predicate.ToString() << ")";
+      break;
+    case Kind::kSelect: {
+      os << pad << "Select(";
+      for (size_t i = 0; i < node->targets.size(); ++i) {
+        if (i) os << ", ";
+        os << node->targets[i].name << " := " << node->targets[i].expr->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kProduct:
+      os << pad << "CrossJoin";
+      break;
+    case Kind::kJoin:
+      os << pad << "Join(" << node->predicate.ToString() << ")";
+      break;
+    case Kind::kUnion:
+      os << pad << "UnionAll";
+      break;
+    case Kind::kDistinct:
+      os << pad << "Distinct";
+      break;
+    case Kind::kExcept:
+      os << pad << "Except";
+      break;
+    case Kind::kExplode:
+      os << pad << "Explode";
+      break;
+  }
+  for (const auto& c : node->children) {
+    os << "\n" << NodeToString(c.get(), indent + 1);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Query::ToString() const { return NodeToString(node_.get(), 0); }
+
+StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
+                        const AnalyzeSpec& spec) {
+  std::vector<size_t> pass_idx, exp_idx;
+  std::vector<std::string> out_columns;
+  for (const auto& name : spec.passthrough_columns) {
+    PIP_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(name));
+    pass_idx.push_back(idx);
+    out_columns.push_back(name);
+  }
+  for (const auto& name : spec.expectation_columns) {
+    PIP_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(name));
+    exp_idx.push_back(idx);
+    out_columns.push_back("E[" + name + "]");
+  }
+  if (spec.with_confidence) out_columns.push_back("conf");
+
+  Table out((Schema(out_columns)));
+  for (const auto& row : table.rows()) {
+    Row result;
+    result.reserve(out_columns.size());
+    for (size_t idx : pass_idx) {
+      if (!row.cells[idx]->IsConstant()) {
+        return Status::InvalidArgument(
+            "passthrough column '" + table.schema().name(idx) +
+            "' holds a probabilistic value");
+      }
+      result.push_back(row.cells[idx]->value());
+    }
+    bool unsatisfiable = false;
+    double confidence = 1.0;
+    for (size_t i = 0; i < exp_idx.size(); ++i) {
+      PIP_ASSIGN_OR_RETURN(
+          ExpectationResult r,
+          engine.Expectation(row.cells[exp_idx[i]], row.condition,
+                             spec.with_confidence && i == 0));
+      if (std::isnan(r.expectation) && r.probability == 0.0) {
+        unsatisfiable = true;
+        break;
+      }
+      if (i == 0) confidence = r.probability;
+      result.push_back(Value(r.expectation));
+    }
+    if (unsatisfiable) continue;
+    if (spec.with_confidence) {
+      if (exp_idx.empty()) {
+        PIP_ASSIGN_OR_RETURN(ExpectationResult r,
+                             engine.Confidence(row.condition));
+        if (r.probability <= 0.0) continue;
+        confidence = r.probability;
+      }
+      result.push_back(Value(confidence));
+    }
+    PIP_RETURN_IF_ERROR(out.Append(std::move(result)));
+  }
+  return out;
+}
+
+StatusOr<Table> AnalyzeJointConfidence(const CTable& table,
+                                       const SamplingEngine& engine) {
+  // Group rows by identical data cells (the bag-encoded disjunction
+  // groups), then aconf() each group.
+  struct Group {
+    const CTableRow* exemplar;
+    std::vector<Condition> disjuncts;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  auto hash_cells = [](const std::vector<ExprPtr>& cells) {
+    size_t h = 0x811c9dc5ULL;
+    for (const auto& c : cells) {
+      h ^= c->Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  };
+  auto cells_equal = [](const std::vector<ExprPtr>& a,
+                        const std::vector<ExprPtr>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i]->Equals(*b[i])) return false;
+    }
+    return true;
+  };
+  for (const auto& row : table.rows()) {
+    size_t h = hash_cells(row.cells);
+    auto& bucket = buckets[h];
+    Group* group = nullptr;
+    for (size_t gi : bucket) {
+      if (cells_equal(groups[gi].exemplar->cells, row.cells)) {
+        group = &groups[gi];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(groups.size());
+      groups.push_back(Group{&row, {}});
+      group = &groups.back();
+    }
+    group->disjuncts.push_back(row.condition);
+  }
+
+  std::vector<std::string> out_columns = table.schema().columns();
+  out_columns.push_back("aconf");
+  Table out((Schema(out_columns)));
+  for (const auto& g : groups) {
+    Row result;
+    for (const auto& cell : g.exemplar->cells) {
+      if (!cell->IsConstant()) {
+        return Status::InvalidArgument(
+            "aconf over probabilistic data cells is not supported; project "
+            "to deterministic columns first");
+      }
+      result.push_back(cell->value());
+    }
+    PIP_ASSIGN_OR_RETURN(double p, engine.JointConfidence(g.disjuncts));
+    result.push_back(Value(p));
+    PIP_RETURN_IF_ERROR(out.Append(std::move(result)));
+  }
+  return out;
+}
+
+}  // namespace pip

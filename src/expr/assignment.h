@@ -1,0 +1,38 @@
+/// \file assignment.h
+/// \brief A (partial) valuation of random variables.
+///
+/// Possible worlds are identified with variable assignments (paper §II-A);
+/// samplers build one Assignment per Monte Carlo sample.
+
+#ifndef PIP_EXPR_ASSIGNMENT_H_
+#define PIP_EXPR_ASSIGNMENT_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/expr/variable.h"
+
+namespace pip {
+
+/// \brief Maps variable references to real values.
+class Assignment {
+ public:
+  void Set(VarRef v, double value) { values_[v.Key()] = value; }
+
+  std::optional<double> Get(VarRef v) const {
+    auto it = values_.find(v.Key());
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Has(VarRef v) const { return values_.count(v.Key()) > 0; }
+  size_t size() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, double> values_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_EXPR_ASSIGNMENT_H_

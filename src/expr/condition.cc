@@ -1,0 +1,118 @@
+#include "src/expr/condition.h"
+
+#include <sstream>
+
+namespace pip {
+
+Condition& Condition::AddAtom(ConstraintAtom atom) {
+  if (known_false_) return *this;
+  if (atom.IsDeterministic()) {
+    auto decided = atom.EvalDeterministic();
+    if (decided.ok()) {
+      if (!decided.value()) {
+        atoms_.clear();
+        known_false_ = true;
+      }
+      return *this;  // True deterministic atoms are elided.
+    }
+    // Incomparable constants (e.g. string < int): keep symbolically; Eval
+    // will surface the error if it is ever relevant.
+  }
+  for (const auto& existing : atoms_) {
+    if (existing.Equals(atom)) return *this;
+  }
+  atoms_.push_back(std::move(atom));
+  return *this;
+}
+
+Condition Condition::And(const Condition& other) const {
+  if (known_false_ || other.known_false_) return False();
+  Condition out = *this;
+  for (const auto& a : other.atoms_) out.AddAtom(a);
+  return out;
+}
+
+bool Condition::IsDeterministic() const {
+  for (const auto& a : atoms_) {
+    if (!a.IsDeterministic()) return false;
+  }
+  return true;
+}
+
+void Condition::CollectVariables(VarSet* out) const {
+  for (const auto& a : atoms_) a.CollectVariables(out);
+}
+
+VarSet Condition::Variables() const {
+  VarSet s;
+  CollectVariables(&s);
+  return s;
+}
+
+StatusOr<bool> Condition::Eval(const Assignment& a) const {
+  if (known_false_) return false;
+  for (const auto& atom : atoms_) {
+    PIP_ASSIGN_OR_RETURN(bool t, atom.Eval(a));
+    if (!t) return false;
+  }
+  return true;
+}
+
+std::vector<Condition> Condition::NegateToDnf() const {
+  if (known_false_) return {True()};
+  if (atoms_.empty()) return {};  // NOT TRUE = empty disjunction (FALSE).
+  // Mutually exclusive expansion:
+  //   !(a1 & a2 & ... & an)
+  //     = !a1  |  (a1 & !a2)  |  (a1 & a2 & !a3)  |  ...
+  // Disjointness means downstream confidence computation may simply sum.
+  std::vector<Condition> out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    Condition disjunct;
+    for (size_t j = 0; j < i; ++j) disjunct.AddAtom(atoms_[j]);
+    disjunct.AddAtom(atoms_[i].Negated());
+    if (!disjunct.IsKnownFalse()) out.push_back(std::move(disjunct));
+  }
+  return out;
+}
+
+bool Condition::Equals(const Condition& o) const {
+  if (known_false_ != o.known_false_ || atoms_.size() != o.atoms_.size()) {
+    return false;
+  }
+  // Order-insensitive comparison; conditions stay small (a handful of
+  // atoms) so quadratic matching is fine.
+  std::vector<bool> used(o.atoms_.size(), false);
+  for (const auto& a : atoms_) {
+    bool found = false;
+    for (size_t i = 0; i < o.atoms_.size(); ++i) {
+      if (!used[i] && a.Equals(o.atoms_[i])) {
+        used[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+size_t Condition::Hash() const {
+  if (known_false_) return 0xfa15eULL;
+  size_t h = 0;
+  // Commutative combine (xor) for order insensitivity.
+  for (const auto& a : atoms_) h ^= a.Hash();
+  return h;
+}
+
+std::string Condition::ToString() const {
+  if (known_false_) return "FALSE";
+  if (atoms_.empty()) return "TRUE";
+  std::ostringstream os;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) os << " AND ";
+    os << atoms_[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace pip

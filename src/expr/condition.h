@@ -1,0 +1,77 @@
+/// \file condition.h
+/// \brief Row conditions: conjunctions of atoms, and DNF sets of them.
+///
+/// "Without loss of generality, the model can be limited to conditions that
+/// are conjunctions of constraint atoms. Generality is maintained by using
+/// bag semantics to encode disjunctions" (paper §III-B): disjuncts become
+/// separate rows and `distinct` coalesces them. The difference operator
+/// negates a conjunction into a DNF whose disjuncts again become rows.
+
+#ifndef PIP_EXPR_CONDITION_H_
+#define PIP_EXPR_CONDITION_H_
+
+#include <vector>
+
+#include "src/expr/atom.h"
+
+namespace pip {
+
+/// \brief A conjunction of constraint atoms; the local condition of a row.
+///
+/// The empty conjunction is TRUE. Deterministic atoms added via AddAtom are
+/// decided eagerly: a false one collapses the condition to FALSE (the row
+/// can be dropped), a true one is elided.
+class Condition {
+ public:
+  Condition() = default;
+
+  static Condition True() { return Condition(); }
+  static Condition False() {
+    Condition c;
+    c.known_false_ = true;
+    return c;
+  }
+
+  /// Conjunction of a single atom.
+  explicit Condition(ConstraintAtom atom) { AddAtom(std::move(atom)); }
+
+  /// Conjoins one atom, with eager deterministic evaluation and duplicate
+  /// elision. Returns *this for chaining.
+  Condition& AddAtom(ConstraintAtom atom);
+
+  /// Conjunction of two conditions (product/selection, Fig. 1).
+  Condition And(const Condition& other) const;
+
+  bool IsTrue() const { return !known_false_ && atoms_.empty(); }
+  bool IsKnownFalse() const { return known_false_; }
+  /// True when no atom mentions a random variable.
+  bool IsDeterministic() const;
+
+  const std::vector<ConstraintAtom>& atoms() const { return atoms_; }
+  size_t size() const { return atoms_.size(); }
+
+  void CollectVariables(VarSet* out) const;
+  VarSet Variables() const;
+
+  /// Truth under a complete assignment.
+  StatusOr<bool> Eval(const Assignment& a) const;
+
+  /// Logical negation as a DNF: NOT(a1 & ... & an) = !a1 | ... | !an,
+  /// returned as one conjunction per disjunct (each a single negated atom
+  /// conjoined with the preceding atoms' assertions to make disjuncts
+  /// mutually exclusive — keeps aconf() simple and rows disjoint).
+  std::vector<Condition> NegateToDnf() const;
+
+  bool Equals(const Condition& o) const;
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConstraintAtom> atoms_;
+  bool known_false_ = false;
+};
+
+}  // namespace pip
+
+#endif  // PIP_EXPR_CONDITION_H_

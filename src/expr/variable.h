@@ -1,0 +1,54 @@
+/// \file variable.h
+/// \brief Identity of random variables inside symbolic expressions.
+///
+/// A PIP random variable is "a unique identifier, a subscript (for
+/// multi-variate distributions), a distribution class, and a set of
+/// parameters" (paper §III-B). The expression layer only sees the first
+/// two — identity — keeping equations opaque to distribution details;
+/// the distribution class and parameters live in dist::VariablePool.
+
+#ifndef PIP_EXPR_VARIABLE_H_
+#define PIP_EXPR_VARIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+namespace pip {
+
+/// \brief Reference to (a component of) a random variable.
+struct VarRef {
+  uint64_t var_id = 0;    ///< Unique identifier allocated by VariablePool.
+  uint32_t component = 0; ///< Subscript into a multivariate distribution.
+
+  bool operator==(const VarRef& o) const {
+    return var_id == o.var_id && component == o.component;
+  }
+  bool operator<(const VarRef& o) const {
+    return var_id != o.var_id ? var_id < o.var_id : component < o.component;
+  }
+
+  /// Packed 64-bit key: ids are allocated sequentially and stay far below
+  /// 2^48; components below 2^16.
+  uint64_t Key() const { return (var_id << 16) | component; }
+
+  std::string ToString() const {
+    std::string s = "X" + std::to_string(var_id);
+    if (component != 0) s += "[" + std::to_string(component) + "]";
+    return s;
+  }
+};
+
+using VarSet = std::set<VarRef>;
+
+}  // namespace pip
+
+template <>
+struct std::hash<pip::VarRef> {
+  size_t operator()(const pip::VarRef& v) const {
+    return std::hash<uint64_t>{}(v.Key());
+  }
+};
+
+#endif  // PIP_EXPR_VARIABLE_H_

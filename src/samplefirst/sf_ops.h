@@ -1,0 +1,75 @@
+/// \file sf_ops.h
+/// \brief Relational operators and aggregates over tuple bundles.
+///
+/// The Sample-First engine evaluates the same plan language (ColExpr /
+/// ColPredicate) as PIP, but against materialized per-world arrays:
+/// filters clear presence bits world by world, maps compute new arrays,
+/// and aggregates reduce each world independently then average. The
+/// contrast with PIP is deliberate and faithful to the paper: identical
+/// queries, different evaluation strategy.
+
+#ifndef PIP_SAMPLEFIRST_SF_OPS_H_
+#define PIP_SAMPLEFIRST_SF_OPS_H_
+
+#include "src/ctable/col_expr.h"
+#include "src/samplefirst/sf_table.h"
+
+namespace pip {
+namespace samplefirst {
+
+/// Evaluates a column expression for one tuple in one world.
+StatusOr<Value> EvalColExpr(const ColExpr& expr, const SFTable& table,
+                            const SFTuple& tuple, size_t world);
+
+/// True when the expression only touches deterministic cells of `tuple`
+/// (its value is then world-independent).
+bool IsDeterministicFor(const ColExpr& expr, const SFTable& table,
+                        const SFTuple& tuple);
+
+/// WHERE: clears presence bits of worlds violating the predicate; tuples
+/// absent from every world are dropped. Deterministic predicates evaluate
+/// once per tuple.
+StatusOr<SFTable> Filter(const SFTable& in, const ColPredicate& predicate);
+
+/// SELECT: generalized projection. Targets over deterministic cells stay
+/// constants; anything touching a stochastic cell materializes a per-world
+/// array.
+StatusOr<SFTable> Map(const SFTable& in,
+                      const std::vector<NamedColExpr>& targets);
+
+/// Theta join: aligns worlds (presence AND), then applies the predicate
+/// per world.
+StatusOr<SFTable> Join(const SFTable& left, const SFTable& right,
+                       const ColPredicate& predicate,
+                       const std::string& rhs_prefix = "r");
+
+/// One group of a group-by partition over deterministic columns.
+struct SFGroup {
+  Row key;
+  SFTable rows;
+};
+
+StatusOr<std::vector<SFGroup>> GroupBy(
+    const SFTable& in, const std::vector<std::string>& group_columns);
+
+// -- Aggregates (each world reduced independently) -----------------------
+
+/// Per-world sum of `column` over present tuples.
+StatusOr<std::vector<double>> PerWorldSums(const SFTable& table,
+                                           const std::string& column);
+
+/// Per-world count of present tuples.
+std::vector<double> PerWorldCounts(const SFTable& table);
+
+/// Per-world max of `column` (empty worlds get `empty_value`).
+StatusOr<std::vector<double>> PerWorldMax(const SFTable& table,
+                                          const std::string& column,
+                                          double empty_value = 0.0);
+
+/// Mean over worlds (the sample-first estimate of an expectation).
+double MeanOverWorlds(const std::vector<double>& per_world);
+
+}  // namespace samplefirst
+}  // namespace pip
+
+#endif  // PIP_SAMPLEFIRST_SF_OPS_H_

@@ -1,0 +1,124 @@
+#include "src/samplefirst/sf_table.h"
+
+namespace pip {
+namespace samplefirst {
+
+size_t SFTuple::PresenceCount() const {
+  size_t n = 0;
+  for (uint64_t word : presence) n += __builtin_popcountll(word);
+  return n;
+}
+
+bool SFTuple::PresentAnywhere() const {
+  for (uint64_t word : presence) {
+    if (word) return true;
+  }
+  return false;
+}
+
+SFTable SFTable::FromTable(const Table& table, size_t num_worlds) {
+  SFTable out(table.schema(), num_worlds);
+  for (const auto& row : table.rows()) {
+    SFTuple t;
+    t.cells.reserve(row.size());
+    for (const auto& v : row) t.cells.emplace_back(v);
+    t.presence = out.FullPresence();
+    PIP_CHECK(out.Append(std::move(t)).ok());
+  }
+  return out;
+}
+
+Status SFTable::Append(SFTuple tuple) {
+  if (tuple.cells.size() != schema_.size()) {
+    return Status::InvalidArgument("tuple arity does not match schema " +
+                                   schema_.ToString());
+  }
+  if (tuple.presence.size() != (num_worlds_ + 63) / 64) {
+    return Status::InvalidArgument("presence bitmap has wrong size");
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+StatusOr<double> SFTable::CellValue(const SFTuple& tuple, size_t column,
+                                    size_t world) const {
+  const SFCell& cell = tuple.cells[column];
+  if (IsStochastic(cell)) {
+    return std::get<std::vector<double>>(cell)[world];
+  }
+  return std::get<Value>(cell).AsDouble();
+}
+
+std::vector<uint64_t> SFTable::FullPresence() const {
+  size_t words = (num_worlds_ + 63) / 64;
+  std::vector<uint64_t> presence(words, ~uint64_t{0});
+  // Mask the tail beyond num_worlds.
+  size_t tail = num_worlds_ % 64;
+  if (tail != 0 && words > 0) {
+    presence.back() = (uint64_t{1} << tail) - 1;
+  }
+  return presence;
+}
+
+StatusOr<SFTable> ParametrizeColumn(
+    const SFTable& in, const std::string& new_column,
+    const std::string& distribution,
+    const std::vector<std::string>& param_columns, uint64_t seed) {
+  PIP_ASSIGN_OR_RETURN(const Distribution* dist,
+                       DistributionRegistry::Global().Lookup(distribution));
+  std::vector<size_t> param_idx;
+  param_idx.reserve(param_columns.size());
+  for (const auto& name : param_columns) {
+    PIP_ASSIGN_OR_RETURN(size_t idx, in.schema().IndexOf(name));
+    param_idx.push_back(idx);
+  }
+
+  SFTable out(Schema(in.schema().columns()).Concat(Schema({new_column})),
+              in.num_worlds());
+  std::vector<double> params(param_idx.size());
+  std::vector<double> joint;
+  for (size_t ti = 0; ti < in.num_tuples(); ++ti) {
+    const SFTuple& tuple = in.tuple(ti);
+    SFTuple extended = tuple;
+
+    // Fast path: all parameters deterministic — validate once, draw the
+    // whole world array.
+    bool det_params = true;
+    for (size_t idx : param_idx) {
+      det_params = det_params && !IsStochastic(tuple.cells[idx]);
+    }
+    std::vector<double> samples(in.num_worlds());
+    if (det_params) {
+      for (size_t p = 0; p < param_idx.size(); ++p) {
+        PIP_ASSIGN_OR_RETURN(params[p], std::get<Value>(
+                                            tuple.cells[param_idx[p]])
+                                            .AsDouble());
+      }
+      PIP_RETURN_IF_ERROR(dist->ValidateParams(params));
+      for (size_t w = 0; w < in.num_worlds(); ++w) {
+        SampleContext ctx{seed, /*var_id=*/ti, /*sample_index=*/w, 0};
+        PIP_RETURN_IF_ERROR(dist->GenerateJoint(params, ctx, &joint));
+        samples[w] = joint[0];
+      }
+    } else {
+      // Per-world parameters (e.g. a previously sampled column feeding a
+      // downstream model).
+      for (size_t w = 0; w < in.num_worlds(); ++w) {
+        for (size_t p = 0; p < param_idx.size(); ++p) {
+          PIP_ASSIGN_OR_RETURN(params[p],
+                               in.CellValue(tuple, param_idx[p], w));
+        }
+        PIP_RETURN_IF_ERROR(dist->ValidateParams(params));
+        SampleContext ctx{seed, /*var_id=*/ti, /*sample_index=*/w, 0};
+        PIP_RETURN_IF_ERROR(dist->GenerateJoint(params, ctx, &joint));
+        samples[w] = joint[0];
+      }
+    }
+    extended.cells.emplace_back(std::move(samples));
+    PIP_RETURN_IF_ERROR(out.Append(std::move(extended)));
+  }
+  return out;
+}
+
+}  // namespace samplefirst
+}  // namespace pip

@@ -1,0 +1,93 @@
+/// \file sf_table.h
+/// \brief Tuple bundles: the Sample-First (MCDB-style) baseline.
+///
+/// The paper's comparison system (§VI): "A sampled variable is represented
+/// using an array of floats, while the tuple bundle's presence in each
+/// sampled world is represented using a densely packed array of booleans."
+/// All sampling happens *up front* — a stochastic column is instantiated
+/// for every world before the query runs — which is exactly the design
+/// whose selectivity pathology PIP addresses: worlds filtered out later
+/// are wasted work, and getting more samples means re-running the query.
+
+#ifndef PIP_SAMPLEFIRST_SF_TABLE_H_
+#define PIP_SAMPLEFIRST_SF_TABLE_H_
+
+#include <variant>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/dist/distribution.h"
+#include "src/types/table.h"
+
+namespace pip {
+namespace samplefirst {
+
+/// \brief One cell of a tuple bundle: a constant or one value per world.
+using SFCell = std::variant<Value, std::vector<double>>;
+
+inline bool IsStochastic(const SFCell& c) { return c.index() == 1; }
+
+/// \brief A tuple bundle: cells plus a packed per-world presence bitmap.
+struct SFTuple {
+  std::vector<SFCell> cells;
+  /// Bit w of presence[w/64] set <=> the tuple exists in world w.
+  std::vector<uint64_t> presence;
+
+  bool PresentIn(size_t world) const {
+    return (presence[world / 64] >> (world % 64)) & 1;
+  }
+  void SetAbsent(size_t world) {
+    presence[world / 64] &= ~(uint64_t{1} << (world % 64));
+  }
+  /// Number of worlds the tuple is present in.
+  size_t PresenceCount() const;
+  bool PresentAnywhere() const;
+};
+
+/// \brief A table of tuple bundles over a fixed world count.
+class SFTable {
+ public:
+  SFTable() = default;
+  SFTable(Schema schema, size_t num_worlds)
+      : schema_(std::move(schema)), num_worlds_(num_worlds) {}
+
+  /// Lifts a deterministic table: every cell constant, present everywhere.
+  static SFTable FromTable(const Table& table, size_t num_worlds);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_worlds() const { return num_worlds_; }
+  size_t num_tuples() const { return tuples_.size(); }
+  const SFTuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<SFTuple>& tuples() const { return tuples_; }
+
+  Status Append(SFTuple tuple);
+
+  /// Reads a cell's value in one world (constants convert via AsDouble).
+  StatusOr<double> CellValue(const SFTuple& tuple, size_t column,
+                             size_t world) const;
+
+  /// An all-present bitmap sized for this table.
+  std::vector<uint64_t> FullPresence() const;
+
+ private:
+  Schema schema_;
+  size_t num_worlds_ = 0;
+  std::vector<SFTuple> tuples_;
+};
+
+/// \brief The sample-first VG-function step: appends a stochastic column.
+///
+/// For each tuple, draws `num_worlds` values from `distribution` with
+/// parameters taken from existing (deterministic or stochastic) columns
+/// via `param_columns`. Seeded deterministically per (seed, tuple index).
+/// Mirrors MCDB's VG functions parameterized by relational data.
+StatusOr<SFTable> ParametrizeColumn(const SFTable& in,
+                                    const std::string& new_column,
+                                    const std::string& distribution,
+                                    const std::vector<std::string>& param_columns,
+                                    uint64_t seed);
+
+}  // namespace samplefirst
+}  // namespace pip
+
+#endif  // PIP_SAMPLEFIRST_SF_TABLE_H_

@@ -1,0 +1,316 @@
+#include "src/sampling/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/running_stats.h"
+#include "src/ctable/algebra.h"
+
+namespace pip {
+
+namespace {
+constexpr uint64_t kWorldMarker = 0x3081d5ULL << 32;
+}
+
+SamplingEngine AggregateEvaluator::RowEngine(size_t num_rows) const {
+  SamplingOptions opts = engine_->options();
+  if (options_.scale_tolerance_by_rows && opts.fixed_samples == 0 &&
+      num_rows > 1) {
+    // Law of large numbers (§IV-C): summing N independent per-row
+    // estimates divides the aggregate's standard error by sqrt(N), so the
+    // per-row tolerance may be relaxed by the same factor.
+    opts.delta = std::min(0.5, opts.delta * std::sqrt(
+                                   static_cast<double>(num_rows)));
+  }
+  return SamplingEngine(&engine_->pool(), opts);
+}
+
+StatusOr<double> AggregateEvaluator::ExpectedSum(
+    const CTable& table, const std::string& column) const {
+  PIP_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(column));
+  SamplingEngine row_engine = RowEngine(table.num_rows());
+  double total = 0.0;
+  for (const auto& row : table.rows()) {
+    PIP_ASSIGN_OR_RETURN(
+        ExpectationResult r,
+        row_engine.Expectation(row.cells[col], row.condition,
+                               /*compute_probability=*/true));
+    if (std::isnan(r.expectation) || r.probability <= 0.0) continue;
+    total += r.expectation * r.probability;
+  }
+  return total;
+}
+
+StatusOr<double> AggregateEvaluator::ExpectedCount(const CTable& table) const {
+  double total = 0.0;
+  for (const auto& row : table.rows()) {
+    PIP_ASSIGN_OR_RETURN(ExpectationResult r,
+                         engine_->Confidence(row.condition));
+    total += r.probability;
+  }
+  return total;
+}
+
+StatusOr<double> AggregateEvaluator::ExpectedAvg(
+    const CTable& table, const std::string& column) const {
+  PIP_ASSIGN_OR_RETURN(double sum, ExpectedSum(table, column));
+  PIP_ASSIGN_OR_RETURN(double count, ExpectedCount(table));
+  if (count <= 0.0) {
+    return Status::Inconsistent("expected_avg over a table that is empty "
+                                "in (almost) every world");
+  }
+  return sum / count;
+}
+
+StatusOr<double> AggregateEvaluator::ExpectedMax(const CTable& table,
+                                                 const std::string& column,
+                                                 double empty_value) const {
+  PIP_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(column));
+  if (table.num_rows() == 0) return empty_value;
+
+  // Fast path (Example 4.4): constant targets and independent rows.
+  bool constants = true;
+  for (const auto& row : table.rows()) {
+    if (!row.cells[col]->IsConstant()) {
+      constants = false;
+      break;
+    }
+  }
+  bool independent_rows = true;
+  if (constants) {
+    std::set<uint64_t> seen_ids;
+    for (const auto& row : table.rows()) {
+      for (const VarRef& v : row.condition.Variables()) {
+        if (!seen_ids.insert(v.var_id).second) {
+          // A variable shared across rows breaks the product formula.
+          independent_rows = false;
+          break;
+        }
+      }
+      if (!independent_rows) break;
+    }
+  }
+
+  if (constants && independent_rows) {
+    struct Entry {
+      double value;
+      double prob;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(table.num_rows());
+    for (const auto& row : table.rows()) {
+      PIP_ASSIGN_OR_RETURN(double v, row.cells[col]->value().AsDouble());
+      PIP_ASSIGN_OR_RETURN(ExpectationResult r,
+                           engine_->Confidence(row.condition));
+      entries.push_back({v, r.probability});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.value > b.value; });
+    double low_floor = std::min(entries.back().value, empty_value);
+    double expectation = 0.0;
+    double none_above = 1.0;  // P[no scanned row is present].
+    for (size_t i = 0; i < entries.size(); ++i) {
+      expectation += entries[i].value * entries[i].prob * none_above;
+      none_above *= (1.0 - entries[i].prob);
+      // Early termination: everything still unscanned can shift the
+      // result by at most (next value - low floor) * P[nothing so far].
+      if (i + 1 < entries.size()) {
+        double bound = none_above * (entries[i + 1].value - low_floor);
+        if (std::fabs(bound) < options_.max_precision) {
+          // Close the truncated tail at the floor value.
+          expectation += none_above * low_floor;
+          return expectation;
+        }
+      }
+    }
+    expectation += none_above * empty_value;
+    return expectation;
+  }
+
+  // General path: world-instantiated evaluation.
+  PIP_ASSIGN_OR_RETURN(
+      std::vector<double> worlds,
+      SampleWorlds(table, column, [&](const std::vector<double>& vals) {
+        if (vals.empty()) return empty_value;
+        return *std::max_element(vals.begin(), vals.end());
+      }));
+  double total = 0.0;
+  for (double w : worlds) total += w;
+  return worlds.empty() ? empty_value
+                        : total / static_cast<double>(worlds.size());
+}
+
+StatusOr<double> AggregateEvaluator::ExpectedStdDev(
+    const CTable& table, const std::string& column) const {
+  PIP_ASSIGN_OR_RETURN(
+      std::vector<double> worlds,
+      SampleWorlds(table, column, [](const std::vector<double>& vals) {
+        if (vals.size() < 2) return 0.0;
+        RunningStats stats;
+        for (double v : vals) stats.Add(v);
+        return stats.stddev();
+      }));
+  double total = 0.0;
+  for (double w : worlds) total += w;
+  return worlds.empty() ? 0.0 : total / static_cast<double>(worlds.size());
+}
+
+StatusOr<double> AggregateEvaluator::SumStdDev(
+    const CTable& table, const std::string& column) const {
+  PIP_ASSIGN_OR_RETURN(std::vector<double> sums,
+                       ExpectedSumHist(table, column));
+  RunningStats stats;
+  for (double s : sums) stats.Add(s);
+  return stats.stddev();
+}
+
+StatusOr<std::vector<double>> AggregateEvaluator::ExpectedSumHist(
+    const CTable& table, const std::string& column) const {
+  return SampleWorlds(table, column, [](const std::vector<double>& vals) {
+    double s = 0.0;
+    for (double v : vals) s += v;
+    return s;
+  });
+}
+
+StatusOr<std::vector<double>> AggregateEvaluator::ExpectedMaxHist(
+    const CTable& table, const std::string& column,
+    double empty_value) const {
+  return SampleWorlds(table, column,
+                      [empty_value](const std::vector<double>& vals) {
+                        if (vals.empty()) return empty_value;
+                        return *std::max_element(vals.begin(), vals.end());
+                      });
+}
+
+StatusOr<std::vector<double>> AggregateEvaluator::SampleWorlds(
+    const CTable& table, const std::string& column,
+    const std::function<double(const std::vector<double>&)>& fold) const {
+  PIP_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(column));
+  const VariablePool& pool = engine_->pool();
+
+  // Distinct variable ids across the whole table.
+  VarSet vars = table.Variables();
+  std::vector<uint64_t> ids;
+  for (const VarRef& v : vars) {
+    if (ids.empty() || ids.back() != v.var_id) ids.push_back(v.var_id);
+  }
+
+  std::vector<double> results;
+  results.reserve(options_.world_samples);
+  std::vector<double> joint;
+  Assignment world;
+  std::vector<double> values;
+  for (size_t w = 0; w < options_.world_samples; ++w) {
+    uint64_t sample_index = engine_->options().sample_offset + w;
+    world.Clear();
+    for (uint64_t id : ids) {
+      PIP_RETURN_IF_ERROR(
+          pool.GenerateJoint(id, sample_index, kWorldMarker, &joint));
+      for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+        world.Set(VarRef{id, comp}, joint[comp]);
+      }
+    }
+    values.clear();
+    for (const auto& row : table.rows()) {
+      PIP_ASSIGN_OR_RETURN(bool present, row.condition.Eval(world));
+      if (!present) continue;
+      PIP_ASSIGN_OR_RETURN(double v, row.cells[col]->EvalDouble(world));
+      values.push_back(v);
+    }
+    results.push_back(fold(values));
+  }
+  return results;
+}
+
+StatusOr<Table> GroupedAggregate(const AggregateEvaluator& evaluator,
+                                 const CTable& table,
+                                 const std::vector<std::string>& group_columns,
+                                 const std::string& value_column,
+                                 GroupAggregate aggregate) {
+  PIP_ASSIGN_OR_RETURN(std::vector<CTableGroup> groups,
+                       GroupBy(table, group_columns));
+  std::vector<std::string> out_columns = group_columns;
+  switch (aggregate) {
+    case GroupAggregate::kExpectedSum:
+      out_columns.push_back("expected_sum(" + value_column + ")");
+      break;
+    case GroupAggregate::kExpectedCount:
+      out_columns.push_back("expected_count(*)");
+      break;
+    case GroupAggregate::kExpectedAvg:
+      out_columns.push_back("expected_avg(" + value_column + ")");
+      break;
+    case GroupAggregate::kExpectedMax:
+      out_columns.push_back("expected_max(" + value_column + ")");
+      break;
+  }
+  Table out((Schema(out_columns)));
+  for (const auto& group : groups) {
+    Row row = group.key;
+    double value = 0.0;
+    switch (aggregate) {
+      case GroupAggregate::kExpectedSum: {
+        PIP_ASSIGN_OR_RETURN(value,
+                             evaluator.ExpectedSum(group.rows, value_column));
+        break;
+      }
+      case GroupAggregate::kExpectedCount: {
+        PIP_ASSIGN_OR_RETURN(value, evaluator.ExpectedCount(group.rows));
+        break;
+      }
+      case GroupAggregate::kExpectedAvg: {
+        PIP_ASSIGN_OR_RETURN(value,
+                             evaluator.ExpectedAvg(group.rows, value_column));
+        break;
+      }
+      case GroupAggregate::kExpectedMax: {
+        PIP_ASSIGN_OR_RETURN(value,
+                             evaluator.ExpectedMax(group.rows, value_column));
+        break;
+      }
+    }
+    row.push_back(Value(value));
+    PIP_RETURN_IF_ERROR(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+size_t Histogram::total() const {
+  size_t t = 0;
+  for (size_t c : counts) t += c;
+  return t;
+}
+
+std::string Histogram::ToString(size_t bar_width) const {
+  std::ostringstream os;
+  size_t max_count = 1;
+  for (size_t c : counts) max_count = std::max(max_count, c);
+  double width = counts.empty() ? 0.0 : (hi - lo) / counts.size();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double b_lo = lo + i * width;
+    double b_hi = b_lo + width;
+    size_t bar = counts[i] * bar_width / max_count;
+    os << "[" << b_lo << ", " << b_hi << ") " << std::string(bar, '#') << " "
+       << counts[i] << "\n";
+  }
+  return os.str();
+}
+
+Histogram BuildHistogram(const std::vector<double>& samples, size_t buckets) {
+  Histogram h;
+  if (samples.empty() || buckets == 0) return h;
+  h.lo = *std::min_element(samples.begin(), samples.end());
+  h.hi = *std::max_element(samples.begin(), samples.end());
+  if (h.hi <= h.lo) h.hi = h.lo + 1.0;
+  h.counts.assign(buckets, 0);
+  for (double s : samples) {
+    size_t b = static_cast<size_t>((s - h.lo) / (h.hi - h.lo) * buckets);
+    if (b >= buckets) b = buckets - 1;
+    ++h.counts[b];
+  }
+  return h;
+}
+
+}  // namespace pip

@@ -1,0 +1,132 @@
+/// \file aggregates.h
+/// \brief Aggregate sampling operators with per-table semantics (§IV-C).
+///
+/// Aggregates fold the row-existence probabilities into the expectation:
+/// E[sum(h)] = sum over rows of E[chi_phi * h] = sum E[h | phi] * P[phi]
+/// (linearity of expectation). Non-linear aggregates (max) get either the
+/// sorted early-termination algorithm of Example 4.4 (constant targets) or
+/// a world-instantiated fallback. *_hist variants return the raw sample
+/// arrays "used to generate histograms and similar visualizations".
+
+#ifndef PIP_SAMPLING_AGGREGATES_H_
+#define PIP_SAMPLING_AGGREGATES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ctable/ctable.h"
+#include "src/sampling/expectation.h"
+
+namespace pip {
+
+/// \brief Options specific to aggregate evaluation.
+struct AggregateOptions {
+  /// Precision cutoff for the expected_max early-termination scan
+  /// (Example 4.4: "if the desired precision is 0.1, we can stop...").
+  double max_precision = 1e-6;
+  /// Law-of-large-numbers sample scaling (§IV-C): when summing N rows the
+  /// per-row tolerance may be relaxed by sqrt(N) without hurting the
+  /// aggregate's accuracy. Only affects adaptive (non fixed-sample) mode.
+  bool scale_tolerance_by_rows = true;
+  /// World count for world-instantiated fallback aggregates.
+  size_t world_samples = 1000;
+};
+
+/// \brief Aggregate operators bound to a sampling engine and a c-table.
+class AggregateEvaluator {
+ public:
+  AggregateEvaluator(const SamplingEngine* engine,
+                     AggregateOptions options = {})
+      : engine_(engine), options_(options) {}
+
+  /// expected_sum(column): sum of per-row conditional expectations
+  /// weighted by row confidence.
+  StatusOr<double> ExpectedSum(const CTable& table,
+                               const std::string& column) const;
+
+  /// expected_count(*): sum of row confidences.
+  StatusOr<double> ExpectedCount(const CTable& table) const;
+
+  /// expected_avg(column): E[sum]/E[count] (first-order approximation of
+  /// the expected average; exact when the row count is deterministic).
+  StatusOr<double> ExpectedAvg(const CTable& table,
+                               const std::string& column) const;
+
+  /// expected_max(column) via Example 4.4 when every target cell is
+  /// constant: sort descending, accumulate v_i * P[phi_i] * prod_{j<i}
+  /// (1 - P[phi_j]), stop when the remaining mass bound drops below
+  /// max_precision. Rows are assumed independent across distinct variable
+  /// groups (exact in that case); falls back to world sampling otherwise.
+  /// Worlds in which the table is empty contribute `empty_value`.
+  StatusOr<double> ExpectedMax(const CTable& table, const std::string& column,
+                               double empty_value = 0.0) const;
+
+  /// expected_stddev(column): expectation of the per-world standard
+  /// deviation of the column across present rows (the paper's example of
+  /// an aggregate without linearity of expectation; world-instantiated).
+  /// Worlds with fewer than two rows contribute 0.
+  StatusOr<double> ExpectedStdDev(const CTable& table,
+                                  const std::string& column) const;
+
+  /// Standard deviation of the *sum* aggregate itself across worlds —
+  /// the spread a decision-maker should attach to expected_sum.
+  StatusOr<double> SumStdDev(const CTable& table,
+                             const std::string& column) const;
+
+  /// expected_sum_hist: per-world samples of the aggregate (length
+  /// options.world_samples), for histogramming.
+  StatusOr<std::vector<double>> ExpectedSumHist(const CTable& table,
+                                                const std::string& column) const;
+
+  /// expected_max_hist: per-world samples of the max.
+  StatusOr<std::vector<double>> ExpectedMaxHist(const CTable& table,
+                                                const std::string& column,
+                                                double empty_value = 0.0) const;
+
+  /// World-instantiated generic aggregate: instantiates
+  /// options.world_samples complete worlds and applies `fold` to each
+  /// world's column values. This is the worst-case path the paper
+  /// describes for aggregates that do not obey linearity of expectation.
+  StatusOr<std::vector<double>> SampleWorlds(
+      const CTable& table, const std::string& column,
+      const std::function<double(const std::vector<double>&)>& fold) const;
+
+ private:
+  /// Engine with per-row tolerance relaxed for an N-row sum.
+  SamplingEngine RowEngine(size_t num_rows) const;
+
+  const SamplingEngine* engine_;
+  AggregateOptions options_;
+};
+
+/// Group-by aggregation (paper §II-C: "the above summation simply proceeds
+/// within groups of tuples from C_R that agree on the group columns").
+/// Partitions `table` on deterministic `group_columns` and evaluates the
+/// chosen aggregate of `value_column` within each group — sampling effort
+/// is allocated per group, in a goal-directed fashion. Output schema:
+/// group columns + the aggregate column.
+enum class GroupAggregate { kExpectedSum, kExpectedCount, kExpectedAvg, kExpectedMax };
+
+StatusOr<Table> GroupedAggregate(const AggregateEvaluator& evaluator,
+                                 const CTable& table,
+                                 const std::vector<std::string>& group_columns,
+                                 const std::string& value_column,
+                                 GroupAggregate aggregate);
+
+/// \brief A fixed-width histogram built from samples.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<size_t> counts;
+
+  size_t total() const;
+  std::string ToString(size_t bar_width = 40) const;
+};
+
+/// Builds a histogram with `buckets` equal-width buckets spanning the
+/// sample range.
+Histogram BuildHistogram(const std::vector<double>& samples, size_t buckets);
+
+}  // namespace pip
+
+#endif  // PIP_SAMPLING_AGGREGATES_H_

@@ -1,0 +1,843 @@
+#include "src/sampling/expectation.h"
+
+#include <cmath>
+
+#include "src/common/running_stats.h"
+#include "src/common/special_math.h"
+#include "src/sampling/metropolis.h"
+
+namespace pip {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Views an atom as (Var op Const); flips sides when the variable is on
+/// the right. Returns false when the atom has another shape.
+bool AsVarConst(const ConstraintAtom& atom, VarRef* var, CmpOp* op,
+                double* constant) {
+  const Expr* var_side = nullptr;
+  const Expr* const_side = nullptr;
+  *op = atom.op();
+  if (atom.lhs()->op() == ExprOp::kVar && atom.rhs()->IsConstant()) {
+    var_side = atom.lhs().get();
+    const_side = atom.rhs().get();
+  } else if (atom.rhs()->op() == ExprOp::kVar && atom.lhs()->IsConstant()) {
+    var_side = atom.rhs().get();
+    const_side = atom.lhs().get();
+    *op = FlipCmp(*op);
+  } else {
+    return false;
+  }
+  auto d = const_side->value().AsDouble();
+  if (!d.ok()) return false;
+  *var = var_side->var();
+  *constant = d.value();
+  return true;
+}
+
+/// Recursive adaptive Simpson quadrature. `ok` is cleared if the integrand
+/// ever fails to evaluate; the result is then meaningless and the caller
+/// falls back to sampling.
+double AdaptiveSimpson(const std::function<StatusOr<double>(double)>& f,
+                       double a, double b, double fa, double fm, double fb,
+                       double tolerance, int depth, bool* ok) {
+  if (!*ok) return 0.0;
+  double m = 0.5 * (a + b);
+  double lm = 0.5 * (a + m), rm = 0.5 * (m + b);
+  auto flm_or = f(lm);
+  auto frm_or = f(rm);
+  if (!flm_or.ok() || !frm_or.ok()) {
+    *ok = false;
+    return 0.0;
+  }
+  double flm = flm_or.value(), frm = frm_or.value();
+  double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tolerance) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpson(f, a, m, fa, flm, fm, 0.5 * tolerance, depth - 1,
+                         ok) +
+         AdaptiveSimpson(f, m, b, fm, frm, fb, 0.5 * tolerance, depth - 1,
+                         ok);
+}
+
+}  // namespace
+
+/// Per-group execution plan: strategy choices plus runtime counters.
+struct SamplingEngine::GroupPlan {
+  std::vector<VarRef> vars;            // All components, ordered.
+  std::vector<uint64_t> var_ids;       // Distinct ids, ordered.
+  std::vector<ConstraintAtom> atoms;   // The group's constraints.
+  bool touches_target = false;
+
+  /// Quantile-space sampling window per var (1 entry per vars[i]);
+  /// [0,1] means unconstrained.
+  std::vector<double> window_lo, window_hi;
+  std::vector<bool> cdf_constrained;
+  double window_prob = 1.0;  // Product of window widths.
+
+  bool exact = false;        // Exact CDF integration available.
+  double exact_prob = 1.0;
+
+  // Runtime counters (Alg. 4.3's N and Count[K]).
+  size_t accepted = 0;
+  size_t attempts = 0;
+  std::unique_ptr<MetropolisSampler> metropolis;
+  uint64_t chain_key = 0;
+  ConsistencyResult consistency;  // Shared bounds (copied per group).
+};
+
+StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
+    const Condition& condition, const VarSet& target_vars,
+    bool* inconsistent) const {
+  *inconsistent = false;
+  if (condition.IsKnownFalse()) {
+    *inconsistent = true;
+    return std::vector<GroupPlan>{};
+  }
+
+  ConsistencyResult consistency = CheckConsistency(condition, *pool_);
+  if (consistency.inconsistent()) {
+    *inconsistent = true;
+    return std::vector<GroupPlan>{};
+  }
+
+  std::vector<VariableGroup> groups;
+  if (options_.use_independence) {
+    groups = PartitionIndependent(condition, target_vars);
+  } else {
+    // Ablation mode: one monolithic group.
+    VariableGroup g;
+    g.vars = condition.Variables();
+    g.vars.insert(target_vars.begin(), target_vars.end());
+    for (size_t i = 0; i < condition.atoms().size(); ++i) {
+      g.atom_indices.push_back(i);
+    }
+    g.touches_target = !target_vars.empty();
+    if (!g.vars.empty()) groups.push_back(std::move(g));
+  }
+
+  std::vector<GroupPlan> plans;
+  plans.reserve(groups.size());
+  size_t group_index = 0;
+  for (const auto& g : groups) {
+    GroupPlan plan;
+    plan.vars.assign(g.vars.begin(), g.vars.end());
+    for (const VarRef& v : plan.vars) {
+      if (plan.var_ids.empty() || plan.var_ids.back() != v.var_id) {
+        plan.var_ids.push_back(v.var_id);
+      }
+    }
+    for (size_t idx : g.atom_indices) {
+      plan.atoms.push_back(condition.atoms()[idx]);
+    }
+    plan.touches_target = g.touches_target;
+    plan.consistency = consistency;
+    // Chain key: stable per (condition, group) so Metropolis chains are
+    // replayable.
+    uint64_t atoms_hash = 0;
+    for (const auto& a : plan.atoms) atoms_hash ^= a.Hash();
+    plan.chain_key =
+        MixBits(atoms_hash, group_index++, options_.sample_offset, 0x4d48ULL);
+
+    // Exact CDF integration: one variable, every atom var-vs-const.
+    if (options_.use_exact_cdf && plan.vars.size() == 1 &&
+        !plan.atoms.empty() && pool_->HasCdf(plan.vars[0])) {
+      bool all_simple = true;
+      bool needs_pmf = false;
+      for (const auto& atom : plan.atoms) {
+        VarRef v;
+        CmpOp op;
+        double c;
+        if (!AsVarConst(atom, &v, &op, &c)) {
+          all_simple = false;
+          break;
+        }
+        if (op == CmpOp::kEq || op == CmpOp::kNe) needs_pmf = true;
+      }
+      if (all_simple && (!needs_pmf || pool_->HasPdf(plan.vars[0]))) {
+        plan.exact = true;
+        // exact_prob filled below once windows exist (shares atom parsing).
+      }
+    }
+
+    // Per-variable CDF windows from the consistency bounds.
+    plan.window_lo.assign(plan.vars.size(), 0.0);
+    plan.window_hi.assign(plan.vars.size(), 1.0);
+    plan.cdf_constrained.assign(plan.vars.size(), false);
+    for (size_t i = 0; i < plan.vars.size(); ++i) {
+      const VarRef& v = plan.vars[i];
+      if (!options_.use_cdf_sampling) continue;
+      auto info = pool_->Info(v.var_id);
+      if (!info.ok() || info.value()->num_components != 1) continue;
+      if (!pool_->HasCdf(v) || !pool_->HasInverseCdf(v)) continue;
+      Interval b = plan.consistency.BoundsFor(v);
+      if (!b.HasAnyBound()) continue;
+      double flo = 0.0, fhi = 1.0;
+      if (std::isfinite(b.lo)) {
+        // For discrete variables the window must exclude values < ceil(lo)
+        // entirely: P[X <= ceil(lo)-1].
+        double lo_point =
+            info.value()->dist->domain() == DomainKind::kContinuous
+                ? b.lo
+                : std::ceil(b.lo) - 1.0;
+        auto f = pool_->Cdf(v, lo_point);
+        if (!f.ok()) continue;
+        flo = f.value();
+      }
+      if (std::isfinite(b.hi)) {
+        double hi_point =
+            info.value()->dist->domain() == DomainKind::kContinuous
+                ? b.hi
+                : std::floor(b.hi);
+        auto f = pool_->Cdf(v, hi_point);
+        if (!f.ok()) continue;
+        fhi = f.value();
+      }
+      if (fhi <= flo) {
+        // Zero-mass window: the condition is unsatisfiable in measure.
+        *inconsistent = true;
+        return std::vector<GroupPlan>{};
+      }
+      plan.window_lo[i] = flo;
+      plan.window_hi[i] = fhi;
+      plan.cdf_constrained[i] = (flo > 0.0 || fhi < 1.0);
+      plan.window_prob *= (fhi - flo);
+    }
+
+    if (plan.exact) {
+      PIP_ASSIGN_OR_RETURN(plan.exact_prob, ExactGroupProbability(plan));
+      if (plan.exact_prob <= 0.0) {
+        *inconsistent = true;
+        return std::vector<GroupPlan>{};
+      }
+    }
+
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+StatusOr<double> SamplingEngine::ExactGroupProbability(
+    const GroupPlan& plan) const {
+  const VarRef v = plan.vars[0];
+  PIP_ASSIGN_OR_RETURN(const VariableInfo* info, pool_->Info(v.var_id));
+  bool discrete = info->dist->domain() != DomainKind::kContinuous;
+
+  // Fold the atoms into one interval, tracking strictness (it matters on
+  // the integer lattice of discrete variables) plus equality /
+  // disequality pins.
+  double lo = -kInf, hi = kInf;
+  bool lo_strict = false, hi_strict = false;
+  std::optional<double> eq;
+  std::vector<double> ne;
+  for (const auto& atom : plan.atoms) {
+    VarRef av;
+    CmpOp op;
+    double c;
+    if (!AsVarConst(atom, &av, &op, &c)) {
+      return Status::Internal("exact plan with a non var-vs-const atom");
+    }
+    switch (op) {
+      case CmpOp::kGt:
+        if (c > lo || (c == lo && !lo_strict)) {
+          lo = c;
+          lo_strict = true;
+        }
+        break;
+      case CmpOp::kGe:
+        if (c > lo) {
+          lo = c;
+          lo_strict = false;
+        }
+        break;
+      case CmpOp::kLt:
+        if (c < hi || (c == hi && !hi_strict)) {
+          hi = c;
+          hi_strict = true;
+        }
+        break;
+      case CmpOp::kLe:
+        if (c < hi) {
+          hi = c;
+          hi_strict = false;
+        }
+        break;
+      case CmpOp::kEq:
+        if (eq && *eq != c) return 0.0;
+        eq = c;
+        break;
+      case CmpOp::kNe:
+        ne.push_back(c);
+        break;
+    }
+  }
+
+  auto cdf = [&](double x) -> StatusOr<double> { return pool_->Cdf(v, x); };
+
+  if (!discrete) {
+    if (eq) return 0.0;  // Zero mass (disequalities have full mass).
+    if (hi <= lo) return 0.0;
+    double fhi = std::isfinite(hi) ? ({
+      PIP_ASSIGN_OR_RETURN(double f, cdf(hi));
+      f;
+    })
+                                   : 1.0;
+    double flo = std::isfinite(lo) ? ({
+      PIP_ASSIGN_OR_RETURN(double f, cdf(lo));
+      f;
+    })
+                                   : 0.0;
+    return std::max(0.0, fhi - flo);
+  }
+
+  // Discrete (integer-lattice) case.
+  double lo_int = std::isfinite(lo)
+                      ? (lo_strict ? std::floor(lo) + 1.0 : std::ceil(lo))
+                      : -kInf;
+  double hi_int = std::isfinite(hi)
+                      ? (hi_strict ? std::ceil(hi) - 1.0 : std::floor(hi))
+                      : kInf;
+  if (lo_int > hi_int) return 0.0;
+
+  auto pmf = [&](double k) -> StatusOr<double> { return pool_->Pdf(v, k); };
+
+  if (eq) {
+    if (*eq < lo_int || *eq > hi_int) return 0.0;
+    for (double x : ne) {
+      if (x == *eq) return 0.0;
+    }
+    return pmf(*eq);
+  }
+
+  double fhi = std::isfinite(hi_int) ? ({
+    PIP_ASSIGN_OR_RETURN(double f, cdf(hi_int));
+    f;
+  })
+                                     : 1.0;
+  double flo = std::isfinite(lo_int) ? ({
+    PIP_ASSIGN_OR_RETURN(double f, cdf(lo_int - 1.0));
+    f;
+  })
+                                     : 0.0;
+  double p = std::max(0.0, fhi - flo);
+  // Remove disequality pins inside the window (deduplicated).
+  std::sort(ne.begin(), ne.end());
+  ne.erase(std::unique(ne.begin(), ne.end()), ne.end());
+  for (double x : ne) {
+    if (std::floor(x) != x) continue;  // Off-lattice: zero mass anyway.
+    if (x < lo_int || x > hi_int) continue;
+    PIP_ASSIGN_OR_RETURN(double m, pmf(x));
+    p -= m;
+  }
+  return std::max(0.0, p);
+}
+
+StatusOr<std::optional<double>> SamplingEngine::TryNumericIntegration(
+    const ExprPtr& expr, const GroupPlan& plan) const {
+  if (!options_.use_numeric_integration) return std::optional<double>{};
+  if (plan.vars.size() != 1) return std::optional<double>{};
+  const VarRef v = plan.vars[0];
+  PIP_ASSIGN_OR_RETURN(const VariableInfo* info, pool_->Info(v.var_id));
+  if (info->num_components != 1 || !info->dist->HasPdf() ||
+      !info->dist->HasCdf()) {
+    return std::optional<double>{};
+  }
+  // Constraints must reduce to an interval on v (the exact-plan shape) or
+  // be absent entirely.
+  if (!plan.atoms.empty() && !plan.exact) return std::optional<double>{};
+
+  bool discrete = info->dist->domain() != DomainKind::kContinuous;
+  Interval region =
+      plan.consistency.BoundsFor(v).Intersect(pool_->Support(v));
+  // Refold the atoms to recover lattice strictness (the bounds map stores
+  // closed intervals only).
+  double lo = region.lo, hi = region.hi;
+  std::vector<double> excluded;
+  for (const auto& atom : plan.atoms) {
+    VarRef av;
+    CmpOp op;
+    double c;
+    if (!AsVarConst(atom, &av, &op, &c)) return std::optional<double>{};
+    switch (op) {
+      case CmpOp::kGt:
+        lo = std::max(lo, discrete ? std::floor(c) + 1.0 : c);
+        break;
+      case CmpOp::kGe:
+        lo = std::max(lo, discrete ? std::ceil(c) : c);
+        break;
+      case CmpOp::kLt:
+        hi = std::min(hi, discrete ? std::ceil(c) - 1.0 : c);
+        break;
+      case CmpOp::kLe:
+        hi = std::min(hi, discrete ? std::floor(c) : c);
+        break;
+      case CmpOp::kEq:
+        lo = std::max(lo, c);
+        hi = std::min(hi, c);
+        break;
+      case CmpOp::kNe:
+        if (discrete) excluded.push_back(c);
+        break;
+    }
+  }
+  if (lo > hi) return std::optional<double>{};
+
+  Assignment point;
+  auto g = [&](double x) -> StatusOr<double> {
+    point.Set(v, x);
+    return expr->EvalDouble(point);
+  };
+
+  if (discrete) {
+    // Exact lattice sum over [lo, hi], tail-clipped by quantile for
+    // unbounded domains.
+    double k_lo = std::ceil(lo);
+    double k_hi = hi;
+    if (!std::isfinite(k_hi)) {
+      if (!info->dist->HasInverseCdf()) return std::optional<double>{};
+      PIP_ASSIGN_OR_RETURN(
+          k_hi, info->dist->InverseCdf(info->params, 0, 1.0 - 1e-14));
+    }
+    if (!std::isfinite(k_lo) || k_hi - k_lo > 2e6) {
+      return std::optional<double>{};
+    }
+    double numerator = 0.0, mass = 0.0;
+    for (double k = k_lo; k <= k_hi; k += 1.0) {
+      bool skip = false;
+      for (double x : excluded) skip = skip || (x == k);
+      if (skip) continue;
+      PIP_ASSIGN_OR_RETURN(double pmf, pool_->Pdf(v, k));
+      if (pmf <= 0.0) continue;
+      auto value = g(k);
+      if (!value.ok()) return std::optional<double>{};
+      numerator += pmf * value.value();
+      mass += pmf;
+    }
+    if (mass <= 0.0) return std::optional<double>{};
+    return std::optional<double>{numerator / mass};
+  }
+
+  // Continuous: clip unbounded endpoints at extreme quantiles.
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    if (!info->dist->HasInverseCdf()) return std::optional<double>{};
+    if (!std::isfinite(lo)) {
+      PIP_ASSIGN_OR_RETURN(lo, info->dist->InverseCdf(info->params, 0, 1e-14));
+    }
+    if (!std::isfinite(hi)) {
+      PIP_ASSIGN_OR_RETURN(
+          hi, info->dist->InverseCdf(info->params, 0, 1.0 - 1e-14));
+    }
+  }
+  if (!(hi > lo) || !std::isfinite(lo) || !std::isfinite(hi)) {
+    return std::optional<double>{};
+  }
+  PIP_ASSIGN_OR_RETURN(double flo, pool_->Cdf(v, lo));
+  PIP_ASSIGN_OR_RETURN(double fhi, pool_->Cdf(v, hi));
+  double mass = fhi - flo;
+  if (mass <= 1e-300) return std::optional<double>{};
+
+  auto integrand = [&](double x) -> StatusOr<double> {
+    PIP_ASSIGN_OR_RETURN(double pdf, pool_->Pdf(v, x));
+    if (!std::isfinite(pdf)) {
+      return Status::OutOfRange("pdf singularity");  // Fallback to sampling.
+    }
+    PIP_ASSIGN_OR_RETURN(double value, g(x));
+    return pdf * value;
+  };
+  auto fa = integrand(lo);
+  auto fm = integrand(0.5 * (lo + hi));
+  auto fb = integrand(hi);
+  if (!fa.ok() || !fm.ok() || !fb.ok()) return std::optional<double>{};
+  bool ok = true;
+  double numerator = AdaptiveSimpson(
+      integrand, lo, hi, fa.value(), fm.value(), fb.value(),
+      options_.integration_tolerance * std::max(1.0, mass), 40, &ok);
+  if (!ok || !std::isfinite(numerator)) return std::optional<double>{};
+  return std::optional<double>{numerator / mass};
+}
+
+StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
+                                               uint64_t sample_index,
+                                               Assignment* assignment,
+                                               size_t* total_attempts) const {
+  // Metropolis mode: the chain hands us a constrained sample directly.
+  if (plan->metropolis != nullptr) {
+    PIP_RETURN_IF_ERROR(plan->metropolis->NextSample(assignment));
+    ++plan->accepted;
+    return true;
+  }
+
+  std::vector<double> joint;
+  for (uint64_t attempt = 0;; ++attempt) {
+    if (++(*total_attempts) > options_.max_total_attempts) return false;
+    ++plan->attempts;
+
+    // Draw every variable of the group.
+    for (size_t i = 0; i < plan->vars.size(); ++i) {
+      const VarRef& v = plan->vars[i];
+      if (plan->cdf_constrained[i]) {
+        SampleContext ctx{pool_->seed(), v.var_id, sample_index, attempt};
+        RandomStream stream = ctx.StreamFor(v.component);
+        double u = plan->window_lo[i] +
+                   (plan->window_hi[i] - plan->window_lo[i]) *
+                       stream.NextUniform();
+        PIP_ASSIGN_OR_RETURN(double x, pool_->InverseCdf(v, u));
+        assignment->Set(v, x);
+      } else if (i == 0 || plan->vars[i].var_id != plan->vars[i - 1].var_id) {
+        // Natural joint draw of all components of this id.
+        PIP_RETURN_IF_ERROR(
+            pool_->GenerateJoint(v.var_id, sample_index, attempt, &joint));
+        for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+          assignment->Set(VarRef{v.var_id, comp}, joint[comp]);
+        }
+      }
+    }
+
+    // Accept iff every group atom holds.
+    bool ok = true;
+    for (const auto& atom : plan->atoms) {
+      PIP_ASSIGN_OR_RETURN(bool t, atom.Eval(*assignment));
+      if (!t) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      ++plan->accepted;
+      return true;
+    }
+
+    // Metropolis switch check (Alg. 4.3 lines 19-24): rejection rate over
+    // this group's lifetime exceeded the threshold.
+    if (options_.use_metropolis && plan->attempts >= options_.metropolis_check_after) {
+      double rejection_rate =
+          1.0 - static_cast<double>(plan->accepted) /
+                    static_cast<double>(plan->attempts);
+      if (rejection_rate > options_.metropolis_threshold &&
+          MetropolisSampler::CanHandle(*pool_, plan->vars)) {
+        auto sampler = std::make_unique<MetropolisSampler>(
+            pool_, plan->vars, plan->atoms, plan->consistency,
+            plan->chain_key);
+        Status init = sampler->Init();
+        if (!init.ok()) return false;  // "unable to find a start point".
+        plan->metropolis = std::move(sampler);
+        PIP_RETURN_IF_ERROR(plan->metropolis->NextSample(assignment));
+        ++plan->accepted;
+        return true;
+      }
+    }
+  }
+}
+
+StatusOr<double> SamplingEngine::EstimateGroupProbability(
+    GroupPlan* plan, size_t* total_attempts) const {
+  if (plan->exact) return plan->exact_prob;
+  if (plan->atoms.empty()) return 1.0;
+
+  // Fresh Monte Carlo estimate of P[atoms | windows] * window_prob. The
+  // attempt-key marker decorrelates these draws from the expectation
+  // loop's draws.
+  constexpr uint64_t kEstimateMarker = 0xE571ULL << 32;
+  const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
+  size_t n = 0, hits = 0;
+  std::vector<double> joint;
+  Assignment a;
+  size_t cap = options_.fixed_samples > 0
+                   ? std::max<size_t>(options_.fixed_samples, 256)
+                   : options_.max_samples;
+  while (true) {
+    if (++(*total_attempts) > options_.max_total_attempts) break;
+    uint64_t sample_index = options_.sample_offset + n;
+    for (size_t i = 0; i < plan->vars.size(); ++i) {
+      const VarRef& v = plan->vars[i];
+      if (plan->cdf_constrained[i]) {
+        SampleContext ctx{pool_->seed(), v.var_id, sample_index,
+                          kEstimateMarker};
+        RandomStream stream = ctx.StreamFor(v.component);
+        double u = plan->window_lo[i] +
+                   (plan->window_hi[i] - plan->window_lo[i]) *
+                       stream.NextUniform();
+        PIP_ASSIGN_OR_RETURN(double x, pool_->InverseCdf(v, u));
+        a.Set(v, x);
+      } else if (i == 0 || plan->vars[i].var_id != plan->vars[i - 1].var_id) {
+        PIP_RETURN_IF_ERROR(pool_->GenerateJoint(v.var_id, sample_index,
+                                                 kEstimateMarker, &joint));
+        for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+          a.Set(VarRef{v.var_id, comp}, joint[comp]);
+        }
+      }
+    }
+    bool ok = true;
+    for (const auto& atom : plan->atoms) {
+      PIP_ASSIGN_OR_RETURN(bool t, atom.Eval(a));
+      if (!t) {
+        ok = false;
+        break;
+      }
+    }
+    ++n;
+    if (ok) ++hits;
+    if (n >= cap) break;
+    if (n >= options_.min_samples && options_.fixed_samples == 0) {
+      double p = static_cast<double>(hits) / static_cast<double>(n);
+      double half_width = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                        static_cast<double>(n));
+      if (half_width <= options_.delta * std::max(p, 0.01)) break;
+    }
+  }
+  double p = n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  return p * plan->window_prob;
+}
+
+StatusOr<ExpectationResult> SamplingEngine::Expectation(
+    const ExprPtr& expr, const Condition& condition,
+    bool compute_probability) const {
+  ExpectationResult result;
+  if (condition.IsKnownFalse()) {
+    result.expectation = kNan;
+    result.probability = 0.0;
+    result.exact = true;
+    return result;
+  }
+
+  VarSet target_vars = expr->Variables();
+  bool inconsistent = false;
+  PIP_ASSIGN_OR_RETURN(std::vector<GroupPlan> plans,
+                       PlanGroups(condition, target_vars, &inconsistent));
+  if (inconsistent) {
+    result.expectation = kNan;
+    result.probability = 0.0;
+    result.exact = true;
+    return result;
+  }
+
+  size_t total_attempts = 0;
+  bool sampled = false;
+
+  // ---- Expectation over the target-touching groups. ----
+  bool integrated = false;
+  if (target_vars.empty()) {
+    PIP_ASSIGN_OR_RETURN(result.expectation, expr->EvalDouble(Assignment()));
+    integrated = true;
+  } else {
+    // Exact path: a single-variable target group with interval constraints
+    // integrates in closed numeric form, sidestepping sampling entirely.
+    GroupPlan* target_plan = nullptr;
+    size_t target_plan_count = 0;
+    for (auto& plan : plans) {
+      if (plan.touches_target) {
+        target_plan = &plan;
+        ++target_plan_count;
+      }
+    }
+    if (target_plan_count == 1) {
+      PIP_ASSIGN_OR_RETURN(std::optional<double> exact_value,
+                           TryNumericIntegration(expr, *target_plan));
+      if (exact_value.has_value()) {
+        result.expectation = *exact_value;
+        integrated = true;
+      }
+    }
+  }
+  if (!integrated) {
+    RunningStats stats;
+    const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
+    Assignment assignment;
+    for (size_t i = 0;; ++i) {
+      // Stopping rule (the epsilon-delta goal of Alg. 4.3 line 12).
+      if (options_.fixed_samples > 0) {
+        if (i >= options_.fixed_samples) break;
+      } else {
+        if (i >= options_.max_samples) break;
+        if (i >= options_.min_samples) {
+          double mean = std::fabs(stats.mean());
+          double half_width = z * stats.standard_error();
+          if (half_width <= options_.delta * std::max(mean, 1e-9)) break;
+        }
+      }
+      assignment.Clear();
+      bool got_all = true;
+      for (auto& plan : plans) {
+        if (!plan.touches_target) continue;
+        PIP_ASSIGN_OR_RETURN(
+            bool ok, SampleGroupOnce(&plan, options_.sample_offset + i,
+                                     &assignment, &total_attempts));
+        if (!ok) {
+          got_all = false;
+          break;
+        }
+      }
+      if (!got_all) {
+        // Sampling budget collapsed: the condition region is effectively
+        // unreachable. Per the paper, report NAN.
+        result.expectation = kNan;
+        result.probability = 0.0;
+        result.attempts = total_attempts;
+        return result;
+      }
+      PIP_ASSIGN_OR_RETURN(double value, expr->EvalDouble(assignment));
+      stats.Add(value);
+      sampled = true;
+    }
+    result.expectation = stats.mean();
+    result.samples_used = static_cast<size_t>(stats.count());
+  }
+
+  // ---- Probability of the full condition. ----
+  if (compute_probability) {
+    double prob = 1.0;
+    for (auto& plan : plans) {
+      if (plan.exact) {
+        prob *= plan.exact_prob;
+      } else if (plan.metropolis != nullptr) {
+        // "Metropolis doesn't give us a probability" — estimate the group
+        // separately by plain (windowed) Monte Carlo.
+        PIP_ASSIGN_OR_RETURN(double p,
+                             EstimateGroupProbability(&plan, &total_attempts));
+        prob *= p;
+      } else if (plan.touches_target && plan.attempts > 0) {
+        // Free acceptance-rate estimate from the expectation loop
+        // (Alg. 4.3 line 29), corrected by the CDF window volume.
+        prob *= plan.window_prob * static_cast<double>(plan.accepted) /
+                static_cast<double>(plan.attempts);
+      } else if (!plan.atoms.empty()) {
+        PIP_ASSIGN_OR_RETURN(double p,
+                             EstimateGroupProbability(&plan, &total_attempts));
+        prob *= p;
+        sampled = sampled || !plan.exact;
+      }
+    }
+    result.probability = prob;
+  }
+
+  result.attempts = total_attempts;
+  result.exact = !sampled;
+  return result;
+}
+
+StatusOr<ExpectationResult> SamplingEngine::Confidence(
+    const Condition& condition) const {
+  // conf() is expectation of the constant 1 with getP (the probability is
+  // the interesting output).
+  PIP_ASSIGN_OR_RETURN(
+      ExpectationResult r,
+      Expectation(Expr::Constant(1.0), condition, /*compute_probability=*/true));
+  if (std::isnan(r.expectation)) r.probability = 0.0;
+  return r;
+}
+
+StatusOr<double> SamplingEngine::JointConfidence(
+    const std::vector<Condition>& disjuncts) const {
+  std::vector<const Condition*> live;
+  for (const auto& d : disjuncts) {
+    if (d.IsKnownFalse()) continue;
+    if (d.IsTrue()) return 1.0;
+    live.push_back(&d);
+  }
+  if (live.empty()) return 0.0;
+  if (live.size() == 1) {
+    PIP_ASSIGN_OR_RETURN(ExpectationResult r, Confidence(*live[0]));
+    return r.probability;
+  }
+
+  if (live.size() <= 6) {
+    // Inclusion-exclusion over conjunction probabilities; each conjunction
+    // gets the full per-group treatment (often exact via CDFs).
+    double total = 0.0;
+    size_t n = live.size();
+    for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
+      Condition conj;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (size_t{1} << i)) conj = conj.And(*live[i]);
+      }
+      double sign = (__builtin_popcountll(mask) % 2 == 1) ? 1.0 : -1.0;
+      if (conj.IsKnownFalse()) continue;
+      PIP_ASSIGN_OR_RETURN(ExpectationResult r, Confidence(conj));
+      total += sign * r.probability;
+    }
+    return std::min(1.0, std::max(0.0, total));
+  }
+
+  // Many disjuncts: joint Monte Carlo over the union of variables.
+  VarSet all_vars;
+  for (const auto* d : live) d->CollectVariables(&all_vars);
+  std::vector<uint64_t> ids;
+  for (const VarRef& v : all_vars) {
+    if (ids.empty() || ids.back() != v.var_id) ids.push_back(v.var_id);
+  }
+  const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
+  size_t n = 0, hits = 0;
+  std::vector<double> joint;
+  Assignment a;
+  size_t cap = options_.fixed_samples > 0 ? options_.fixed_samples
+                                          : options_.max_samples;
+  constexpr uint64_t kAconfMarker = 0xAC0FULL << 32;
+  while (n < cap) {
+    uint64_t sample_index = options_.sample_offset + n;
+    for (uint64_t id : ids) {
+      PIP_RETURN_IF_ERROR(
+          pool_->GenerateJoint(id, sample_index, kAconfMarker, &joint));
+      for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+        a.Set(VarRef{id, comp}, joint[comp]);
+      }
+    }
+    bool any = false;
+    for (const auto* d : live) {
+      PIP_ASSIGN_OR_RETURN(bool t, d->Eval(a));
+      if (t) {
+        any = true;
+        break;
+      }
+    }
+    ++n;
+    if (any) ++hits;
+    if (n >= options_.min_samples && options_.fixed_samples == 0) {
+      double p = static_cast<double>(hits) / static_cast<double>(n);
+      double half_width = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                        static_cast<double>(n));
+      if (half_width <= options_.delta * std::max(p, 0.01)) break;
+    }
+  }
+  return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+}
+
+StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
+    const ExprPtr& expr, const Condition& condition, size_t n) const {
+  std::vector<double> samples;
+  if (condition.IsKnownFalse()) return samples;
+  VarSet target_vars = expr->Variables();
+  bool inconsistent = false;
+  PIP_ASSIGN_OR_RETURN(std::vector<GroupPlan> plans,
+                       PlanGroups(condition, target_vars, &inconsistent));
+  if (inconsistent) return samples;
+
+  size_t total_attempts = 0;
+  Assignment assignment;
+  samples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    assignment.Clear();
+    bool got_all = true;
+    for (auto& plan : plans) {
+      if (!plan.touches_target) continue;
+      PIP_ASSIGN_OR_RETURN(
+          bool ok, SampleGroupOnce(&plan, options_.sample_offset + i,
+                                   &assignment, &total_attempts));
+      if (!ok) {
+        got_all = false;
+        break;
+      }
+    }
+    if (!got_all) break;
+    PIP_ASSIGN_OR_RETURN(double value, expr->EvalDouble(assignment));
+    samples.push_back(value);
+  }
+  return samples;
+}
+
+}  // namespace pip

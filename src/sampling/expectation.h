@@ -1,0 +1,165 @@
+/// \file expectation.h
+/// \brief The expectation operator (paper Alg. 4.3) and confidence
+/// computation.
+///
+/// This is where PIP cashes in on deferring integration: given the full
+/// expression E and its row context C (a conjunction of constraint atoms),
+/// the operator
+///   1. checks C's consistency and harvests per-variable bounds (Alg. 3.2),
+///   2. partitions {vars(E)} U {vars(C)} into minimal independent subsets,
+///   3. picks per-group strategies: exact CDF integration when a group
+///      reduces to interval constraints on one variable with a CDF;
+///      inverse-CDF-constrained sampling when bounds and inverse CDFs are
+///      available; plain rejection otherwise; and a Metropolis fallback
+///      when the observed rejection rate crosses a threshold,
+///   4. runs an (epsilon, delta)-adaptive sampling loop over only the
+///      groups the expression touches, and
+///   5. assembles P[C] from per-group acceptance rates, CDF windows and
+///      exact factors.
+
+#ifndef PIP_SAMPLING_EXPECTATION_H_
+#define PIP_SAMPLING_EXPECTATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/constraints/consistency.h"
+#include "src/constraints/independence.h"
+#include "src/dist/variable_pool.h"
+#include "src/expr/condition.h"
+#include "src/expr/expr.h"
+
+namespace pip {
+
+/// \brief Strategy knobs of the sampling operators.
+///
+/// The use_* flags exist for the ablation benchmarks; production callers
+/// keep them on.
+struct SamplingOptions {
+  /// Confidence level parameter: results are within the delta tolerance
+  /// with probability ~(1 - epsilon).
+  double epsilon = 0.05;
+  /// Relative precision target for adaptive stopping.
+  double delta = 0.02;
+  /// If nonzero, take exactly this many samples (no adaptive stopping) —
+  /// the mode used by the paper's experiments ("1000 samples apiece").
+  size_t fixed_samples = 0;
+  size_t min_samples = 32;
+  size_t max_samples = 200000;
+  /// Overall rejection-attempt budget per expectation call; exceeded means
+  /// the condition is effectively unsatisfiable for the sampler.
+  size_t max_total_attempts = 20000000;
+
+  /// Offsets the deterministic sample index space; distinct offsets give
+  /// statistically fresh (but still replayable) runs, e.g. across trials.
+  uint64_t sample_offset = 0;
+
+  // -- Optimization toggles (§IV-A), default on; benches ablate them. ----
+  bool use_exact_cdf = true;       ///< Exact single-variable CDF integration.
+  bool use_cdf_sampling = true;    ///< Inverse-CDF constrained sampling.
+  bool use_independence = true;    ///< Minimal independent subset sampling.
+  bool use_metropolis = true;      ///< MCMC fallback for tiny acceptance.
+  /// Exact numeric integration of single-variable expectations ("the
+  /// expectation operator can ... potentially even sidestep [sampling]
+  /// entirely", §III-A): when the target expression depends on one
+  /// univariate variable with PDF+CDF and its constraints reduce to an
+  /// interval, E[g(X) | a<=X<=b] is computed by adaptive quadrature (or an
+  /// exact lattice sum for discrete variables) instead of sampling.
+  bool use_numeric_integration = true;
+  /// Absolute/relative tolerance of the quadrature.
+  double integration_tolerance = 1e-10;
+
+  /// Rejection-rate threshold that triggers the Metropolis switch
+  /// ("Metropolis Threshold" in Alg. 4.3); evaluated after
+  /// `metropolis_check_after` attempts of a group.
+  double metropolis_threshold = 0.995;
+  size_t metropolis_check_after = 2000;
+};
+
+/// \brief Result of an expectation (or confidence) computation.
+struct ExpectationResult {
+  /// E[expression | condition]; NaN when the condition is unsatisfiable
+  /// (the paper's convention: "a value of NAN will result").
+  double expectation = 0.0;
+  /// P[condition] when requested (1.0 otherwise).
+  double probability = 1.0;
+  /// Monte Carlo samples actually accepted (0 for fully exact results).
+  size_t samples_used = 0;
+  /// Total generation attempts including rejected ones (work measure).
+  size_t attempts = 0;
+  /// True when no sampling was necessary (closed-form CDF integration).
+  bool exact = false;
+};
+
+/// \brief Per-row sampling operators over a variable pool.
+///
+/// Stateless apart from configuration; every method is deterministic given
+/// the pool's seed and options.sample_offset.
+class SamplingEngine {
+ public:
+  explicit SamplingEngine(const VariablePool* pool,
+                          SamplingOptions options = {})
+      : pool_(pool), options_(options) {}
+
+  const SamplingOptions& options() const { return options_; }
+  SamplingOptions* mutable_options() { return &options_; }
+  const VariablePool& pool() const { return *pool_; }
+
+  /// expectation(): E[expr | condition], optionally with P[condition]
+  /// (Alg. 4.3's getP). Deterministic expressions short-circuit.
+  StatusOr<ExpectationResult> Expectation(const ExprPtr& expr,
+                                          const Condition& condition,
+                                          bool compute_probability) const;
+
+  /// conf(): P[condition] for a conjunctive condition.
+  StatusOr<ExpectationResult> Confidence(const Condition& condition) const;
+
+  /// aconf(): P[c1 OR c2 OR ...] for the bag-encoded disjuncts of one
+  /// distinct row group. Uses inclusion-exclusion over exact/estimated
+  /// conjunction probabilities for few disjuncts, joint Monte Carlo
+  /// otherwise.
+  StatusOr<double> JointConfidence(
+      const std::vector<Condition>& disjuncts) const;
+
+  /// Draws `n` samples of expr conditioned on condition (the *_hist
+  /// operators build histograms from these). Unsatisfiable condition
+  /// yields an empty vector.
+  StatusOr<std::vector<double>> SampleConditional(const ExprPtr& expr,
+                                                  const Condition& condition,
+                                                  size_t n) const;
+
+ private:
+  struct GroupPlan;
+
+  /// Builds per-group strategy plans. Sets *inconsistent when the
+  /// condition is unsatisfiable.
+  StatusOr<std::vector<GroupPlan>> PlanGroups(const Condition& condition,
+                                              const VarSet& target_vars,
+                                              bool* inconsistent) const;
+
+  /// Samples one accepted joint draw for a group. Returns false when the
+  /// attempt budget collapsed without acceptance (caller decides whether
+  /// that means "unsatisfiable" or "switch to Metropolis").
+  StatusOr<bool> SampleGroupOnce(GroupPlan* plan, uint64_t sample_index,
+                                 Assignment* assignment,
+                                 size_t* total_attempts) const;
+
+  /// Exact probability of a single-variable interval-constrained group.
+  StatusOr<double> ExactGroupProbability(const GroupPlan& plan) const;
+
+  /// MC estimate of P[group atoms] for groups not touching the target.
+  StatusOr<double> EstimateGroupProbability(GroupPlan* plan,
+                                            size_t* total_attempts) const;
+
+  /// Attempts exact numeric integration of E[expr | plan's interval].
+  /// Returns nullopt when the shape does not qualify.
+  StatusOr<std::optional<double>> TryNumericIntegration(
+      const ExprPtr& expr, const GroupPlan& plan) const;
+
+  const VariablePool* pool_;
+  SamplingOptions options_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_SAMPLING_EXPECTATION_H_

@@ -1,0 +1,543 @@
+#include "src/sql/session.h"
+
+#include <sstream>
+
+#include "src/sql/lexer.h"
+
+namespace pip {
+namespace sql {
+
+namespace {
+
+using CE = ColExpr;
+
+/// Function names with special meaning in target position.
+enum class AggKind {
+  kNone,
+  kExpectedSum,
+  kExpectedCount,
+  kExpectedAvg,
+  kExpectedMax,
+  kExpectation,  // Per-row.
+  kConf,         // Per-row.
+};
+
+AggKind AggKindFromName(const std::string& upper) {
+  if (upper == "EXPECTED_SUM") return AggKind::kExpectedSum;
+  if (upper == "EXPECTED_COUNT") return AggKind::kExpectedCount;
+  if (upper == "EXPECTED_AVG") return AggKind::kExpectedAvg;
+  if (upper == "EXPECTED_MAX") return AggKind::kExpectedMax;
+  if (upper == "EXPECTATION") return AggKind::kExpectation;
+  if (upper == "CONF") return AggKind::kConf;
+  return AggKind::kNone;
+}
+
+bool IsTableWide(AggKind k) {
+  return k == AggKind::kExpectedSum || k == AggKind::kExpectedCount ||
+         k == AggKind::kExpectedAvg || k == AggKind::kExpectedMax;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+/// Scalar functions usable inside expressions.
+std::optional<FuncKind> ScalarFunc(const std::string& upper) {
+  if (upper == "EXP") return FuncKind::kExp;
+  if (upper == "LOG") return FuncKind::kLog;
+  if (upper == "SQRT") return FuncKind::kSqrt;
+  if (upper == "ABS") return FuncKind::kAbs;
+  if (upper == "MIN") return FuncKind::kMin;
+  if (upper == "MAX") return FuncKind::kMax;
+  if (upper == "POW") return FuncKind::kPow;
+  return std::nullopt;
+}
+
+struct Target {
+  AggKind agg = AggKind::kNone;
+  ColExprPtr expr;  // Null for expected_count(*) / conf().
+  std::string alias;
+};
+
+/// Recursive-descent parser for one statement.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Database* db, SamplingOptions options)
+      : tokens_(std::move(tokens)), db_(db), options_(options) {}
+
+  StatusOr<SqlResult> ParseStatement() {
+    if (Peek().Is("CREATE")) return ParseCreateTable();
+    if (Peek().Is("INSERT")) return ParseInsert();
+    if (Peek().Is("SELECT")) return ParseSelect();
+    return Error("expected CREATE, INSERT or SELECT");
+  }
+
+ private:
+  // -- Token plumbing ---------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("SQL parse error at position " +
+                                   std::to_string(Peek().position) + ": " +
+                                   message);
+  }
+
+  Status ExpectKeyword(const std::string& upper) {
+    if (!Peek().Is(upper)) return Error("expected " + upper);
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!Peek().IsSymbol(s)) return Error("expected '" + s + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected identifier");
+    return Advance().text;
+  }
+
+  Status ExpectStatementEnd() {
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) return Error("trailing input");
+    return Status::OK();
+  }
+
+  // -- Expressions -------------------------------------------------------
+
+  StatusOr<ColExprPtr> ParseExpr() { return ParseAddSub(); }
+
+  StatusOr<ColExprPtr> ParseAddSub() {
+    PIP_ASSIGN_OR_RETURN(ColExprPtr left, ParseMulDiv());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      bool add = Advance().text == "+";
+      PIP_ASSIGN_OR_RETURN(ColExprPtr right, ParseMulDiv());
+      left = add ? CE::Add(left, right) : CE::Sub(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<ColExprPtr> ParseMulDiv() {
+    PIP_ASSIGN_OR_RETURN(ColExprPtr left, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      bool mul = Advance().text == "*";
+      PIP_ASSIGN_OR_RETURN(ColExprPtr right, ParseUnary());
+      left = mul ? CE::Mul(left, right) : CE::Div(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<ColExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      PIP_ASSIGN_OR_RETURN(ColExprPtr inner, ParseUnary());
+      return CE::Neg(inner);
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ColExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      return CE::Literal(Value(t.number));
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return CE::Literal(Value(t.text));
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      PIP_ASSIGN_OR_RETURN(ColExprPtr inner, ParseExpr());
+      PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      std::string name = Advance().text;
+      if (Peek().IsSymbol("(")) return ParseCall(name);
+      // Dotted column reference (table.column).
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        PIP_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        return CE::Column(name + "." + col);
+      }
+      return CE::Column(name);
+    }
+    return Error("expected expression");
+  }
+
+  /// A call in expression position: a scalar function or a distribution
+  /// constructor. Distribution constructors require constant arguments and
+  /// allocate one fresh random variable per syntactic occurrence — the
+  /// paper's CREATE_VARIABLE inlined into values/targets.
+  StatusOr<ColExprPtr> ParseCall(const std::string& name) {
+    PIP_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ColExprPtr> args;
+    if (!Peek().IsSymbol(")")) {
+      while (true) {
+        PIP_ASSIGN_OR_RETURN(ColExprPtr arg, ParseExpr());
+        args.push_back(std::move(arg));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    std::string upper = ToUpper(name);
+    if (auto func = ScalarFunc(upper)) {
+      size_t expected = (upper == "MIN" || upper == "MAX" || upper == "POW")
+                            ? 2
+                            : 1;
+      if (args.size() != expected) {
+        return Error(name + " expects " + std::to_string(expected) +
+                     " argument(s)");
+      }
+      return expected == 1 ? CE::Func(*func, args[0])
+                           : CE::Func(*func, args[0], args[1]);
+    }
+
+    // Distribution constructor.
+    auto dist = DistributionRegistry::Global().Lookup(name);
+    if (!dist.ok()) {
+      return Error("unknown function or distribution '" + name + "'");
+    }
+    std::vector<double> params;
+    params.reserve(args.size());
+    for (const auto& arg : args) {
+      PIP_ASSIGN_OR_RETURN(ExprPtr bound, arg->Bind(Schema(), {}));
+      if (!bound->IsConstant()) {
+        return Error("distribution parameters must be constants");
+      }
+      PIP_ASSIGN_OR_RETURN(double v, bound->value().AsDouble());
+      params.push_back(v);
+    }
+    PIP_ASSIGN_OR_RETURN(VarRef var,
+                         db_->CreateVariable(name, std::move(params)));
+    return CE::Embed(Expr::Var(var));
+  }
+
+  StatusOr<CmpOp> ParseCmpOp() {
+    const Token& t = Peek();
+    if (t.IsSymbol("<")) {
+      Advance();
+      return CmpOp::kLt;
+    }
+    if (t.IsSymbol("<=")) {
+      Advance();
+      return CmpOp::kLe;
+    }
+    if (t.IsSymbol(">")) {
+      Advance();
+      return CmpOp::kGt;
+    }
+    if (t.IsSymbol(">=")) {
+      Advance();
+      return CmpOp::kGe;
+    }
+    if (t.IsSymbol("=")) {
+      Advance();
+      return CmpOp::kEq;
+    }
+    if (t.IsSymbol("<>") || t.IsSymbol("!=")) {
+      Advance();
+      return CmpOp::kNe;
+    }
+    return Error("expected comparison operator");
+  }
+
+  StatusOr<ColPredicate> ParseWhere() {
+    ColPredicate pred;
+    while (true) {
+      PIP_ASSIGN_OR_RETURN(ColExprPtr lhs, ParseExpr());
+      PIP_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      PIP_ASSIGN_OR_RETURN(ColExprPtr rhs, ParseExpr());
+      pred.And(std::move(lhs), op, std::move(rhs));
+      if (!Peek().Is("AND")) break;
+      Advance();
+    }
+    return pred;
+  }
+
+  // -- Statements ---------------------------------------------------------
+
+  StatusOr<SqlResult> ParseCreateTable() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    PIP_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    PIP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    PIP_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> columns;
+    while (true) {
+      PIP_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      columns.push_back(std::move(col));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+    PIP_RETURN_IF_ERROR(
+        db_->RegisterCTable(name, CTable(Schema(std::move(columns)))));
+    SqlResult result;
+    result.message = "CREATE TABLE " + name;
+    return result;
+  }
+
+  StatusOr<SqlResult> ParseInsert() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    PIP_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    PIP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    PIP_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+
+    PIP_ASSIGN_OR_RETURN(const CTable* existing, db_->GetTable(name));
+    CTable updated = *existing;
+
+    size_t inserted = 0;
+    while (true) {
+      PIP_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> cells;
+      while (true) {
+        PIP_ASSIGN_OR_RETURN(ColExprPtr expr, ParseExpr());
+        // INSERT expressions cannot reference columns.
+        PIP_ASSIGN_OR_RETURN(ExprPtr bound, expr->Bind(Schema(), {}));
+        cells.push_back(std::move(bound));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+      PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      PIP_RETURN_IF_ERROR(updated.Append(std::move(cells)));
+      ++inserted;
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+    db_->MaterializeView(name, std::move(updated));
+    SqlResult result;
+    result.message = "INSERT " + std::to_string(inserted);
+    return result;
+  }
+
+  StatusOr<Target> ParseTarget() {
+    Target target;
+    // Aggregate / per-row operator heads.
+    if (Peek().kind == TokenKind::kIdent && Peek(1).IsSymbol("(")) {
+      AggKind agg = AggKindFromName(ToUpper(Peek().text));
+      if (agg != AggKind::kNone) {
+        target.agg = agg;
+        target.alias = ToUpper(Peek().text);
+        Advance();
+        Advance();  // '('
+        if (Peek().IsSymbol("*")) {
+          if (agg != AggKind::kExpectedCount) {
+            return Error("'*' argument only valid for expected_count");
+          }
+          Advance();
+        } else if (!Peek().IsSymbol(")")) {
+          PIP_ASSIGN_OR_RETURN(target.expr, ParseExpr());
+        }
+        PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (Peek().Is("AS")) {
+          Advance();
+          PIP_ASSIGN_OR_RETURN(target.alias, ExpectIdent());
+        }
+        return target;
+      }
+    }
+    PIP_ASSIGN_OR_RETURN(target.expr, ParseExpr());
+    if (Peek().Is("AS")) {
+      Advance();
+      PIP_ASSIGN_OR_RETURN(target.alias, ExpectIdent());
+    } else if (target.expr->kind() == CE::Kind::kColumn) {
+      target.alias = target.expr->column();
+    } else {
+      target.alias = "col" + std::to_string(++anonymous_targets_);
+    }
+    return target;
+  }
+
+  StatusOr<SqlResult> ParseSelect() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    std::vector<Target> targets;
+    bool select_star = false;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      select_star = true;
+    } else {
+      while (true) {
+        PIP_ASSIGN_OR_RETURN(Target t, ParseTarget());
+        targets.push_back(std::move(t));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+
+    PIP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    std::vector<std::string> tables;
+    while (true) {
+      PIP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      tables.push_back(std::move(name));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+
+    ColPredicate predicate;
+    if (Peek().Is("WHERE")) {
+      Advance();
+      PIP_ASSIGN_OR_RETURN(predicate, ParseWhere());
+    }
+    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+
+    // Build the plan: FROM list as cross products, then WHERE.
+    Query plan = Query::Scan(tables[0]);
+    for (size_t i = 1; i < tables.size(); ++i) {
+      plan = plan.CrossJoin(Query::Scan(tables[i]), tables[i]);
+    }
+    if (!predicate.empty()) plan = plan.Where(std::move(predicate));
+    PIP_ASSIGN_OR_RETURN(CTable base, plan.Execute(*db_));
+
+    // Classify the target list.
+    bool any_table_wide = false, any_per_row = false, any_plain = false;
+    for (const auto& t : targets) {
+      if (IsTableWide(t.agg)) {
+        any_table_wide = true;
+      } else if (t.agg != AggKind::kNone) {
+        any_per_row = true;
+      } else {
+        any_plain = true;
+      }
+    }
+    if (any_table_wide && (any_per_row || any_plain)) {
+      return Error(
+          "cannot mix table-wide aggregates with per-row targets");
+    }
+
+    SqlResult result;
+    SamplingEngine engine = db_->MakeEngine(options_);
+
+    if (select_star || (!any_table_wide && !any_per_row)) {
+      // Plain symbolic SELECT.
+      if (select_star) {
+        result.kind = SqlResult::Kind::kCTable;
+        result.ctable = std::move(base);
+        return result;
+      }
+      std::vector<NamedColExpr> cols;
+      for (const auto& t : targets) cols.push_back({t.alias, t.expr});
+      PIP_ASSIGN_OR_RETURN(result.ctable, Project(base, cols));
+      result.kind = SqlResult::Kind::kCTable;
+      return result;
+    }
+
+    if (any_table_wide) {
+      // Single-row deterministic aggregate result. Project each aggregate's
+      // inner expression first so AggregateEvaluator sees one column each.
+      std::vector<NamedColExpr> cols;
+      for (size_t i = 0; i < targets.size(); ++i) {
+        if (targets[i].expr != nullptr) {
+          cols.push_back({"agg" + std::to_string(i), targets[i].expr});
+        }
+      }
+      CTable projected = base;
+      if (!cols.empty()) {
+        PIP_ASSIGN_OR_RETURN(projected, Project(base, cols));
+        // Conditions are preserved by Project; expected_count still works.
+      }
+      AggregateEvaluator agg(&engine);
+      std::vector<std::string> names;
+      Row row;
+      for (size_t i = 0; i < targets.size(); ++i) {
+        const Target& t = targets[i];
+        names.push_back(t.alias);
+        std::string col = "agg" + std::to_string(i);
+        double value = 0;
+        switch (t.agg) {
+          case AggKind::kExpectedSum: {
+            PIP_ASSIGN_OR_RETURN(value, agg.ExpectedSum(projected, col));
+            break;
+          }
+          case AggKind::kExpectedCount: {
+            PIP_ASSIGN_OR_RETURN(value, agg.ExpectedCount(projected));
+            break;
+          }
+          case AggKind::kExpectedAvg: {
+            PIP_ASSIGN_OR_RETURN(value, agg.ExpectedAvg(projected, col));
+            break;
+          }
+          case AggKind::kExpectedMax: {
+            PIP_ASSIGN_OR_RETURN(value, agg.ExpectedMax(projected, col));
+            break;
+          }
+          default:
+            return Error("unsupported aggregate");
+        }
+        row.push_back(Value(value));
+      }
+      result.kind = SqlResult::Kind::kTable;
+      result.table = Table(Schema(std::move(names)));
+      PIP_RETURN_IF_ERROR(result.table.Append(std::move(row)));
+      return result;
+    }
+
+    // Per-row mode: expectation(expr) / conf() mixed with deterministic
+    // passthrough columns.
+    std::vector<NamedColExpr> cols;
+    AnalyzeSpec spec;
+    spec.with_confidence = false;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const Target& t = targets[i];
+      if (t.agg == AggKind::kConf) {
+        spec.with_confidence = true;
+        continue;
+      }
+      std::string col = t.alias;
+      if (t.agg == AggKind::kExpectation) {
+        cols.push_back({col, t.expr});
+        spec.expectation_columns.push_back(col);
+      } else {
+        cols.push_back({col, t.expr});
+        spec.passthrough_columns.push_back(col);
+      }
+    }
+    CTable projected = base;
+    if (!cols.empty()) {
+      PIP_ASSIGN_OR_RETURN(projected, Project(base, cols));
+    }
+    PIP_ASSIGN_OR_RETURN(result.table, Analyze(projected, engine, spec));
+    result.kind = SqlResult::Kind::kTable;
+    return result;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Database* db_;
+  SamplingOptions options_;
+  int anonymous_targets_ = 0;
+};
+
+}  // namespace
+
+std::string SqlResult::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return message;
+    case Kind::kCTable:
+      return ctable.ToString();
+    case Kind::kTable:
+      return table.ToString();
+  }
+  return "";
+}
+
+StatusOr<SqlResult> Session::Execute(const std::string& statement) {
+  PIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens), db_, options_);
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace pip

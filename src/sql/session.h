@@ -1,0 +1,76 @@
+/// \file session.h
+/// \brief A SQL front-end for PIP, mirroring the paper's §V interface.
+///
+/// The paper exposes PIP through extended PostgreSQL SQL: CREATE VARIABLE
+/// allocates random variables, overloaded operators let them mix freely
+/// with constants in targets and WHERE clauses, and probability-removing
+/// functions (expectation, conf, expected_sum, ...) terminate the symbolic
+/// phase. This module provides the same surface on the in-memory engine:
+///
+///   CREATE TABLE orders (cust, ship_to, price);
+///   INSERT INTO orders VALUES ('Joe', 'NY', Normal(120, 20));
+///   SELECT price FROM orders WHERE cust = 'Joe';          -- c-table out
+///   SELECT expected_sum(price), conf() FROM orders
+///     WHERE ship_days >= 7;                               -- deterministic
+///
+/// Distribution constructors (any registered class name used as a function
+/// in an INSERT or SELECT target) allocate a fresh variable per evaluated
+/// row — the paper's CREATE_VARIABLE. Supported statements:
+///
+///   CREATE TABLE name (col [, col]*)
+///   INSERT INTO name VALUES (expr, ...) [, (expr, ...)]*
+///   SELECT targets FROM name [, name]* [WHERE conjunction]
+///
+/// Targets: expressions with optional `AS alias`, or the aggregates
+/// expected_sum(expr) / expected_count(*) / expected_avg(expr) /
+/// expected_max(expr) / expectation(expr) / conf(). A SELECT containing an
+/// aggregate returns a single-row deterministic Table; `expectation` and
+/// `conf` are per-row operators returning one deterministic row per input
+/// row; a plain SELECT returns the symbolic CTable.
+
+#ifndef PIP_SQL_SESSION_H_
+#define PIP_SQL_SESSION_H_
+
+#include <string>
+
+#include "src/engine/query.h"
+#include "src/sampling/aggregates.h"
+
+namespace pip {
+namespace sql {
+
+/// \brief Result of executing one statement.
+struct SqlResult {
+  enum class Kind {
+    kNone,      ///< DDL/DML acknowledgement (see `message`).
+    kCTable,    ///< Symbolic query result.
+    kTable,     ///< Deterministic (probability-removed) result.
+  };
+  Kind kind = Kind::kNone;
+  std::string message;
+  CTable ctable;
+  Table table;
+
+  std::string ToString() const;
+};
+
+/// \brief Stateful SQL session against one Database.
+class Session {
+ public:
+  explicit Session(Database* db, SamplingOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Parses and executes one statement (trailing ';' optional).
+  StatusOr<SqlResult> Execute(const std::string& statement);
+
+  SamplingOptions* mutable_options() { return &options_; }
+
+ private:
+  Database* db_;
+  SamplingOptions options_;
+};
+
+}  // namespace sql
+}  // namespace pip
+
+#endif  // PIP_SQL_SESSION_H_

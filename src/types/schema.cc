@@ -1,0 +1,59 @@
+#include "src/types/schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pip {
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in " + ToString());
+}
+
+bool Schema::Contains(const std::string& name) const {
+  for (const auto& c : columns_) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& rhs_prefix) const {
+  std::vector<std::string> cols = columns_;
+  for (const auto& c : other.columns_) {
+    std::string name = c;
+    if (Contains(name)) {
+      if (!rhs_prefix.empty()) {
+        name = rhs_prefix + "." + c;
+      }
+      int suffix = 2;
+      std::string base = name;
+      while (std::find(cols.begin(), cols.end(), name) != cols.end()) {
+        name = base + "_" + std::to_string(suffix++);
+      }
+    }
+    cols.push_back(std::move(name));
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<std::string> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pip

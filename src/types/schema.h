@@ -1,0 +1,53 @@
+/// \file schema.h
+/// \brief Column metadata for deterministic tables and c-tables.
+
+#ifndef PIP_TYPES_SCHEMA_H_
+#define PIP_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pip {
+
+/// \brief An ordered list of column names.
+///
+/// PIP tables are dynamically typed at the cell level (Value carries its
+/// own tag; symbolic cells are equations), so the schema tracks names and
+/// positions only — mirroring how the paper's Postgres layer threads CTYPE
+/// columns through plans by position.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+  Schema(std::initializer_list<std::string> columns) : columns_(columns) {}
+
+  size_t size() const { return columns_.size(); }
+  const std::string& name(size_t i) const { return columns_[i]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Position of `name`, or NotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Schema of `this` concatenated with `other` (cross product). Collisions
+  /// are disambiguated by prefixing the right-hand column with `rhs_prefix.`
+  /// when non-empty, else by appending a counter.
+  Schema Concat(const Schema& other, const std::string& rhs_prefix = "") const;
+
+  /// Sub-schema with the given column positions, in order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_TYPES_SCHEMA_H_

@@ -1,0 +1,62 @@
+#include "src/types/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pip {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+StatusOr<Value> Table::Get(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row));
+  }
+  PIP_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  return rows_[row][idx];
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> widths;
+  for (const auto& c : schema_.columns()) widths.push_back(c.size());
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      line.push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    os << (c ? " | " : "") << schema_.name(c)
+       << std::string(widths[c] - schema_.name(c).size(), ' ');
+  }
+  os << "\n";
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    os << (c ? "-+-" : "") << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      os << (c ? " | " : "") << line[c]
+         << std::string(widths[c] - line[c].size(), ' ');
+    }
+    os << "\n";
+  }
+  if (shown < rows_.size()) {
+    os << "... (" << rows_.size() - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace pip

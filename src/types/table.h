@@ -1,0 +1,47 @@
+/// \file table.h
+/// \brief Deterministic in-memory table (bag semantics).
+///
+/// The deterministic substrate that stands in for the paper's Postgres
+/// host: workload generators produce these, and c-tables are built from
+/// them by attaching symbolic columns and conditions.
+
+#ifndef PIP_TYPES_TABLE_H_
+#define PIP_TYPES_TABLE_H_
+
+#include <vector>
+
+#include "src/types/schema.h"
+#include "src/types/value.h"
+
+namespace pip {
+
+using Row = std::vector<Value>;
+
+/// \brief A multiset of rows under a schema.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; returns InvalidArgument on arity mismatch.
+  Status Append(Row row);
+
+  /// Cell accessor by column name.
+  StatusOr<Value> Get(size_t row, const std::string& column) const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_TYPES_TABLE_H_

@@ -1,0 +1,116 @@
+#include "src/types/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pip {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+StatusOr<double> Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case ValueType::kInt:
+      return static_cast<double>(int_value());
+    case ValueType::kDouble:
+      return double_value();
+    default:
+      return Status::TypeMismatch(std::string("cannot read ") +
+                                  ValueTypeName(type()) + " as double");
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  // Numerics compare by value across int/double.
+  if ((a == ValueType::kInt || a == ValueType::kDouble) &&
+      (b == ValueType::kInt || b == ValueType::kDouble)) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      int64_t x = int_value(), y = other.int_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a == ValueType::kInt ? static_cast<double>(int_value())
+                                    : double_value();
+    double y = b == ValueType::kInt ? static_cast<double>(other.int_value())
+                                    : other.double_value();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+  switch (a) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      int x = bool_value() ? 1 : 0, y = other.bool_value() ? 1 : 0;
+      return x - y;
+    }
+    case ValueType::kString: {
+      int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;
+    case ValueType::kBool:
+      return bool_value() ? 0x74727565ULL : 0x66616c73ULL;
+    case ValueType::kInt: {
+      // Hash ints through double when representable so 3 and 3.0 collide
+      // (they compare equal).
+      double d = static_cast<double>(int_value());
+      if (static_cast<int64_t>(d) == int_value()) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(int_value());
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(double_value());
+    case ValueType::kString:
+      return std::hash<std::string>{}(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << double_value();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + string_value() + "'";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace pip

@@ -1,0 +1,101 @@
+/// \file value.h
+/// \brief The deterministic scalar value type of the relational substrate.
+///
+/// Plays the role Postgres datums play for the paper's implementation:
+/// everything the deterministic part of the engine stores and compares is a
+/// Value. Symbolic (probabilistic) cells live one level up, in expr/.
+
+#ifndef PIP_TYPES_VALUE_H_
+#define PIP_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace pip {
+
+/// Runtime type tag of a Value.
+enum class ValueType { kNull = 0, kBool, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief A dynamically typed scalar: null, bool, int64, double or string.
+///
+/// Ordering and equality follow SQL-ish semantics with a twist that keeps
+/// the engine total: numeric types compare by value across int/double;
+/// otherwise values of different types compare by type tag. NULL equals
+/// NULL (we use this for grouping, like SQL's IS NOT DISTINCT FROM).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kBool;
+      case 2:
+        return ValueType::kInt;
+      case 3:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  }
+
+  bool bool_value() const { return std::get<bool>(v_); }
+  int64_t int_value() const { return std::get<int64_t>(v_); }
+  double double_value() const { return std::get<double>(v_); }
+  const std::string& string_value() const { return std::get<std::string>(v_); }
+
+  /// Numeric content as double; Status error if not numeric/bool.
+  StatusOr<double> AsDouble() const;
+
+  /// Total ordering: -1, 0, +1. See class comment for cross-type rules.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Hash consistent with operator== (numeric int/double that compare
+  /// equal hash equal).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace pip
+
+template <>
+struct std::hash<pip::Value> {
+  size_t operator()(const pip::Value& v) const { return v.Hash(); }
+};
+
+#endif  // PIP_TYPES_VALUE_H_

@@ -1,0 +1,180 @@
+#include "src/workload/iceberg.h"
+
+#include <cmath>
+
+#include "src/common/special_math.h"
+#include "src/common/timer.h"
+#include "src/engine/database.h"
+
+namespace pip {
+namespace workload {
+
+IcebergData GenerateIceberg(const IcebergConfig& config) {
+  Rng rng(config.seed);
+  IcebergData data;
+
+  data.sightings = Table(Schema(
+      {"iceberg_id", "last_x", "last_y", "days_since", "sigma", "danger"}));
+  for (size_t i = 0; i < config.num_icebergs; ++i) {
+    double days = rng.NextUniform(1.0, config.max_days);
+    double sigma = config.drift_per_day * days;
+    double danger = std::exp(-config.danger_decay * days);
+    PIP_CHECK(data.sightings
+                  .Append({Value(static_cast<int64_t>(i)),
+                           Value(rng.NextUniform(0.0, config.area)),
+                           Value(rng.NextUniform(0.0, config.area)),
+                           Value(days), Value(sigma), Value(danger)})
+                  .ok());
+  }
+
+  data.ships = Table(Schema({"ship_id", "x", "y"}));
+  for (size_t s = 0; s < config.num_ships; ++s) {
+    PIP_CHECK(data.ships
+                  .Append({Value(static_cast<int64_t>(s)),
+                           Value(rng.NextUniform(0.0, config.area)),
+                           Value(rng.NextUniform(0.0, config.area))})
+                  .ok());
+  }
+  return data;
+}
+
+StatusOr<SeriesResult> RunIcebergPip(const IcebergData& data,
+                                     const IcebergConfig& config,
+                                     uint64_t seed) {
+  SeriesResult result;
+  WallTimer timer;
+
+  // Query phase: one pair of position variables per iceberg (shared by all
+  // ships — the c-table replay guarantee keeps them consistent).
+  Database db(seed);
+  struct Berg {
+    VarRef x, y;
+    double danger;
+  };
+  std::vector<Berg> bergs;
+  bergs.reserve(data.sightings.num_rows());
+  for (const auto& row : data.sightings.rows()) {
+    double sigma = row[4].double_value();
+    PIP_ASSIGN_OR_RETURN(
+        VarRef x,
+        db.CreateVariable("Normal", {row[1].double_value(), sigma}));
+    PIP_ASSIGN_OR_RETURN(
+        VarRef y,
+        db.CreateVariable("Normal", {row[2].double_value(), sigma}));
+    bergs.push_back({x, y, row[5].double_value()});
+  }
+  result.query_seconds = timer.Seconds();
+
+  // Sample phase (here: exact integration). P[near] factorizes into two
+  // single-variable interval constraints, so Confidence() takes the exact
+  // CDF path for every pair.
+  timer.Restart();
+  SamplingEngine engine = db.MakeEngine();
+  result.per_item.reserve(data.ships.num_rows());
+  for (const auto& ship : data.ships.rows()) {
+    double sx = ship[1].double_value(), sy = ship[2].double_value();
+    double threat = 0.0;
+    for (const auto& berg : bergs) {
+      Condition near;
+      near.AddAtom(Expr::Var(berg.x) > Expr::Constant(sx - config.proximity));
+      near.AddAtom(Expr::Var(berg.x) < Expr::Constant(sx + config.proximity));
+      near.AddAtom(Expr::Var(berg.y) > Expr::Constant(sy - config.proximity));
+      near.AddAtom(Expr::Var(berg.y) < Expr::Constant(sy + config.proximity));
+      PIP_ASSIGN_OR_RETURN(ExpectationResult r, engine.Confidence(near));
+      if (!r.exact) {
+        return Status::Internal(
+            "iceberg proximity should integrate exactly via CDFs");
+      }
+      if (r.probability > config.min_threat_probability) {
+        threat += berg.danger * r.probability;
+      }
+    }
+    result.per_item.push_back(threat);
+    result.total += threat;
+  }
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<SeriesResult> RunIcebergSampleFirst(const IcebergData& data,
+                                             const IcebergConfig& config,
+                                             size_t num_worlds,
+                                             uint64_t seed) {
+  SeriesResult result;
+  WallTimer timer;
+
+  // Up-front world instantiation: every iceberg's position in every world.
+  PIP_ASSIGN_OR_RETURN(const Distribution* normal,
+                       DistributionRegistry::Global().Lookup("Normal"));
+  size_t n = data.sightings.num_rows();
+  std::vector<std::vector<double>> xs(n), ys(n);
+  std::vector<double> danger(n);
+  std::vector<double> joint;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& row = data.sightings.rows()[i];
+    std::vector<double> px = {row[1].double_value(), row[4].double_value()};
+    std::vector<double> py = {row[2].double_value(), row[4].double_value()};
+    danger[i] = row[5].double_value();
+    xs[i].resize(num_worlds);
+    ys[i].resize(num_worlds);
+    for (size_t w = 0; w < num_worlds; ++w) {
+      SampleContext cx{seed, /*var_id=*/2 * i, w, 0};
+      PIP_RETURN_IF_ERROR(normal->GenerateJoint(px, cx, &joint));
+      xs[i][w] = joint[0];
+      SampleContext cy{seed, /*var_id=*/2 * i + 1, w, 0};
+      PIP_RETURN_IF_ERROR(normal->GenerateJoint(py, cy, &joint));
+      ys[i][w] = joint[0];
+    }
+  }
+  result.query_seconds = timer.Seconds();
+
+  // World-counting estimate of each P[near].
+  timer.Restart();
+  result.per_item.reserve(data.ships.num_rows());
+  for (const auto& ship : data.ships.rows()) {
+    double sx = ship[1].double_value(), sy = ship[2].double_value();
+    double threat = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t hits = 0;
+      for (size_t w = 0; w < num_worlds; ++w) {
+        if (std::fabs(xs[i][w] - sx) < config.proximity &&
+            std::fabs(ys[i][w] - sy) < config.proximity) {
+          ++hits;
+        }
+      }
+      double p = static_cast<double>(hits) / static_cast<double>(num_worlds);
+      if (p > config.min_threat_probability) threat += danger[i] * p;
+    }
+    result.per_item.push_back(threat);
+    result.total += threat;
+  }
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<double> IcebergTruth(const IcebergData& data,
+                                 const IcebergConfig& config) {
+  std::vector<double> threats;
+  threats.reserve(data.ships.num_rows());
+  for (const auto& ship : data.ships.rows()) {
+    double sx = ship[1].double_value(), sy = ship[2].double_value();
+    double threat = 0.0;
+    for (const auto& row : data.sightings.rows()) {
+      double mx = row[1].double_value(), my = row[2].double_value();
+      double sigma = row[4].double_value();
+      double px = NormalCdf((sx + config.proximity - mx) / sigma) -
+                  NormalCdf((sx - config.proximity - mx) / sigma);
+      double py = NormalCdf((sy + config.proximity - my) / sigma) -
+                  NormalCdf((sy - config.proximity - my) / sigma);
+      double p = px * py;
+      if (p > config.min_threat_probability) {
+        threat += row[5].double_value() * p;
+      }
+    }
+    threats.push_back(threat);
+  }
+  return threats;
+}
+
+}  // namespace workload
+}  // namespace pip

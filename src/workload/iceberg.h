@@ -1,0 +1,81 @@
+/// \file iceberg.h
+/// \brief The iceberg threat-estimation workload (paper Fig. 8).
+///
+/// SUBSTITUTION (documented in DESIGN.md): the paper uses four years of
+/// the NSIDC International Ice Patrol iceberg sighting database. The data
+/// is not redistributable here, so this generator synthesizes sightings
+/// with the same statistical shape the experiment depends on: a last-known
+/// position per iceberg, days-since-sighting driving both position
+/// uncertainty (drift) and an exponentially decaying danger level, and 100
+/// virtual ships at random locations.
+///
+/// The query (paper §VI): each iceberg's current position is normally
+/// distributed around its last sighting; icebergs with > 0.1% chance of
+/// being near a ship contribute danger * P[near] to the ship's threat.
+/// Because "near" decomposes into per-axis interval constraints on
+/// independent normals, PIP computes every probability exactly via CDFs;
+/// Sample-First must estimate tiny probabilities from world counts.
+
+#ifndef PIP_WORKLOAD_ICEBERG_H_
+#define PIP_WORKLOAD_ICEBERG_H_
+
+#include "src/types/table.h"
+#include "src/workload/queries.h"
+
+namespace pip {
+namespace workload {
+
+/// \brief Generation and query parameters for the iceberg workload.
+struct IcebergConfig {
+  uint64_t seed = 1912;  // A fateful year for iceberg proximity.
+  size_t num_icebergs = 150;
+  size_t num_ships = 100;
+  /// Square operating area [0, area]^2 (abstract nautical-mile grid).
+  double area = 1000.0;
+  /// Position standard deviation grows by this much per day unseen.
+  double drift_per_day = 2.0;
+  /// Danger level decay rate: danger = exp(-decay * days).
+  double danger_decay = 0.02;
+  /// Sightings are up to this many days old.
+  double max_days = 120.0;
+  /// "Near" means within this distance per axis (box proximity). Small
+  /// relative to drift uncertainty, so per-iceberg probabilities sit near
+  /// the 0.1% filter threshold — the regime where world-counting noise is
+  /// worst (as in the paper's NSIDC experiment).
+  double proximity = 12.0;
+  /// Threat filter: icebergs with P[near] below this are ignored.
+  double min_threat_probability = 0.001;
+};
+
+/// \brief Generated tables.
+///
+/// sightings(iceberg_id, last_x, last_y, days_since, sigma, danger)
+/// ships(ship_id, x, y)
+struct IcebergData {
+  Table sightings;
+  Table ships;
+};
+
+IcebergData GenerateIceberg(const IcebergConfig& config);
+
+/// PIP evaluation: exact per-ship threats via CDF integration (per_item is
+/// indexed by ship). The paper reports "PIP was able to employ CDF
+/// sampling and obtain an exact result".
+StatusOr<SeriesResult> RunIcebergPip(const IcebergData& data,
+                                     const IcebergConfig& config,
+                                     uint64_t seed);
+
+/// Sample-First evaluation with `num_worlds` sampled position worlds.
+StatusOr<SeriesResult> RunIcebergSampleFirst(const IcebergData& data,
+                                             const IcebergConfig& config,
+                                             size_t num_worlds, uint64_t seed);
+
+/// Analytic per-ship threats (the correct values; identical to what the
+/// PIP exact path computes, used to cross-check it in tests).
+std::vector<double> IcebergTruth(const IcebergData& data,
+                                 const IcebergConfig& config);
+
+}  // namespace workload
+}  // namespace pip
+
+#endif  // PIP_WORKLOAD_ICEBERG_H_

@@ -1,0 +1,595 @@
+#include "src/workload/queries.h"
+
+#include <cmath>
+
+#include "src/common/special_math.h"
+#include "src/common/timer.h"
+#include "src/sampling/aggregates.h"
+
+namespace pip {
+namespace workload {
+
+namespace {
+
+using samplefirst::MeanOverWorlds;
+using samplefirst::ParametrizeColumn;
+using samplefirst::PerWorldMax;
+using samplefirst::PerWorldSums;
+using samplefirst::SFTable;
+
+using CE = ColExpr;
+
+/// Supplier row fields, unpacked.
+struct SupplierStats {
+  std::string nation;
+  double manuf_mu, manuf_sigma, ship_mu, ship_sigma;
+};
+
+std::vector<SupplierStats> UnpackSuppliers(const TpchData& data) {
+  std::vector<SupplierStats> out;
+  out.reserve(data.supplier.num_rows());
+  for (const auto& row : data.supplier.rows()) {
+    out.push_back({row[1].string_value(), row[2].double_value(),
+                   row[3].double_value(), row[4].double_value(),
+                   row[5].double_value()});
+  }
+  return out;
+}
+
+/// Combined delivery-time law for a customer's assigned supplier:
+/// Normal(manuf_mu + ship_mu, sqrt(manuf_sigma^2 + ship_sigma^2)).
+void CustomerDeliveryLaw(const SupplierStats& s, double* mu, double* sigma) {
+  *mu = s.manuf_mu + s.ship_mu;
+  *sigma = std::sqrt(s.manuf_sigma * s.manuf_sigma +
+                     s.ship_sigma * s.ship_sigma);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q1
+// ---------------------------------------------------------------------------
+
+StatusOr<TimedResult> RunQ1Pip(const TpchData& data, uint64_t seed,
+                               const SamplingOptions& options) {
+  TimedResult result;
+  WallTimer timer;
+
+  // Query phase: aggregate two years of orders, build the symbolic
+  // prediction table inc_c = Poisson(lambda_c) * avg_price_c.
+  Database db(seed);
+  std::vector<CustomerRevenue> revenue = SummarizeRevenue(data);
+  CTable predictions(Schema({"custkey", "extra_revenue"}));
+  for (const auto& r : revenue) {
+    PIP_ASSIGN_OR_RETURN(VarRef extra,
+                         db.CreateVariable("Poisson", {r.increase_lambda}));
+    PIP_RETURN_IF_ERROR(predictions.Append(
+        {Expr::ConstantInt(r.custkey),
+         Expr::Var(extra) * Expr::Constant(r.avg_order_price)}));
+  }
+  result.query_seconds = timer.Seconds();
+
+  // Sample phase: expected_sum over the prediction column.
+  timer.Restart();
+  SamplingEngine engine = db.MakeEngine(options);
+  AggregateEvaluator agg(&engine);
+  PIP_ASSIGN_OR_RETURN(result.value,
+                       agg.ExpectedSum(predictions, "extra_revenue"));
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<TimedResult> RunQ1SampleFirst(const TpchData& data,
+                                       size_t num_worlds, uint64_t seed) {
+  TimedResult result;
+  WallTimer timer;
+
+  // Sample-first: instantiate every world before evaluating.
+  std::vector<CustomerRevenue> revenue = SummarizeRevenue(data);
+  Table params(Schema({"custkey", "lambda", "avg_price"}));
+  for (const auto& r : revenue) {
+    PIP_RETURN_IF_ERROR(params.Append({Value(r.custkey),
+                                       Value(r.increase_lambda),
+                                       Value(r.avg_order_price)}));
+  }
+  SFTable base = SFTable::FromTable(params, num_worlds);
+  PIP_ASSIGN_OR_RETURN(
+      SFTable with_extra,
+      ParametrizeColumn(base, "extra", "Poisson", {"lambda"}, seed));
+  PIP_ASSIGN_OR_RETURN(
+      SFTable mapped,
+      samplefirst::Map(with_extra,
+                       {{"revenue",
+                         CE::Column("extra") * CE::Column("avg_price")}}));
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  PIP_ASSIGN_OR_RETURN(std::vector<double> sums,
+                       PerWorldSums(mapped, "revenue"));
+  result.value = MeanOverWorlds(sums);
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+double Q1Truth(const TpchData& data) {
+  double total = 0.0;
+  for (const auto& r : SummarizeRevenue(data)) {
+    total += r.increase_lambda * r.avg_order_price;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Q2
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parts supplied from JAPAN, with their delivery-time laws.
+struct JapanesePart {
+  int64_t partkey;
+  double manuf_mu, manuf_sigma, ship_mu, ship_sigma;
+};
+
+std::vector<JapanesePart> JapaneseParts(const TpchData& data) {
+  std::vector<SupplierStats> suppliers = UnpackSuppliers(data);
+  std::vector<JapanesePart> out;
+  for (const auto& row : data.part.rows()) {
+    const auto& s = suppliers[row[1].int_value()];
+    if (s.nation != "JAPAN") continue;
+    out.push_back({row[0].int_value(), s.manuf_mu, s.manuf_sigma, s.ship_mu,
+                   s.ship_sigma});
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TimedResult> RunQ2Pip(const TpchData& data, uint64_t seed,
+                               const SamplingOptions& options,
+                               size_t world_samples) {
+  TimedResult result;
+  WallTimer timer;
+
+  Database db(seed);
+  CTable deliveries(Schema({"partkey", "delivery"}));
+  for (const auto& p : JapaneseParts(data)) {
+    PIP_ASSIGN_OR_RETURN(
+        VarRef manuf, db.CreateVariable("Normal", {p.manuf_mu, p.manuf_sigma}));
+    PIP_ASSIGN_OR_RETURN(
+        VarRef ship, db.CreateVariable("Normal", {p.ship_mu, p.ship_sigma}));
+    PIP_RETURN_IF_ERROR(
+        deliveries.Append({Expr::ConstantInt(p.partkey),
+                           Expr::Var(manuf) + Expr::Var(ship)}));
+  }
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  SamplingEngine engine = db.MakeEngine(options);
+  AggregateOptions agg_options;
+  agg_options.world_samples = world_samples;
+  AggregateEvaluator agg(&engine, agg_options);
+  PIP_ASSIGN_OR_RETURN(result.value, agg.ExpectedMax(deliveries, "delivery"));
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<TimedResult> RunQ2SampleFirst(const TpchData& data,
+                                       size_t num_worlds, uint64_t seed) {
+  TimedResult result;
+  WallTimer timer;
+
+  Table params(Schema(
+      {"partkey", "manuf_mu", "manuf_sigma", "ship_mu", "ship_sigma"}));
+  for (const auto& p : JapaneseParts(data)) {
+    PIP_RETURN_IF_ERROR(params.Append({Value(p.partkey), Value(p.manuf_mu),
+                                       Value(p.manuf_sigma), Value(p.ship_mu),
+                                       Value(p.ship_sigma)}));
+  }
+  SFTable base = SFTable::FromTable(params, num_worlds);
+  PIP_ASSIGN_OR_RETURN(SFTable with_manuf,
+                       ParametrizeColumn(base, "manuf", "Normal",
+                                         {"manuf_mu", "manuf_sigma"}, seed));
+  PIP_ASSIGN_OR_RETURN(
+      SFTable with_ship,
+      ParametrizeColumn(with_manuf, "ship", "Normal",
+                        {"ship_mu", "ship_sigma"}, seed ^ 0x51a9ULL));
+  PIP_ASSIGN_OR_RETURN(
+      SFTable mapped,
+      samplefirst::Map(with_ship, {{"delivery",
+                                    CE::Column("manuf") + CE::Column("ship")}}));
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  PIP_ASSIGN_OR_RETURN(std::vector<double> maxima,
+                       PerWorldMax(mapped, "delivery"));
+  result.value = MeanOverWorlds(maxima);
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Q3
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-customer inputs of Q3: the profit model (Q1) joined with the
+/// delivery model (Q2, collapsed to one Normal) and the satisfaction
+/// threshold.
+struct Q3Row {
+  double lambda, avg_price;      // Profit model.
+  double del_mu, del_sigma;      // Delivery law.
+  double threshold;              // Satisfaction threshold.
+};
+
+std::vector<Q3Row> BuildQ3Rows(const TpchData& data) {
+  std::vector<SupplierStats> suppliers = UnpackSuppliers(data);
+  std::vector<CustomerRevenue> revenue = SummarizeRevenue(data);
+  std::vector<Q3Row> rows;
+  rows.reserve(revenue.size());
+  for (const auto& r : revenue) {
+    const auto& customer_row =
+        data.customer.rows()[static_cast<size_t>(r.custkey)];
+    // Each customer's typical supplier: a deterministic join surrogate.
+    const auto& s = suppliers[static_cast<size_t>(r.custkey) %
+                              suppliers.size()];
+    Q3Row row;
+    row.lambda = r.increase_lambda;
+    row.avg_price = r.avg_order_price;
+    CustomerDeliveryLaw(s, &row.del_mu, &row.del_sigma);
+    row.threshold = customer_row[2].double_value();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+StatusOr<TimedResult> RunQ3Pip(const TpchData& data, uint64_t seed,
+                               const SamplingOptions& options) {
+  TimedResult result;
+  WallTimer timer;
+
+  Database db(seed);
+  CTable lost(Schema({"lost_profit"}));
+  for (const auto& row : BuildQ3Rows(data)) {
+    PIP_ASSIGN_OR_RETURN(VarRef extra,
+                         db.CreateVariable("Poisson", {row.lambda}));
+    PIP_ASSIGN_OR_RETURN(
+        VarRef delivery,
+        db.CreateVariable("Normal", {row.del_mu, row.del_sigma}));
+    Condition dissatisfied(Expr::Var(delivery) >
+                           Expr::Constant(row.threshold));
+    PIP_RETURN_IF_ERROR(
+        lost.Append({Expr::Var(extra) * Expr::Constant(row.avg_price)},
+                    std::move(dissatisfied)));
+  }
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  SamplingEngine engine = db.MakeEngine(options);
+  AggregateEvaluator agg(&engine);
+  PIP_ASSIGN_OR_RETURN(result.value, agg.ExpectedSum(lost, "lost_profit"));
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<TimedResult> RunQ3SampleFirst(const TpchData& data,
+                                       size_t num_worlds, uint64_t seed) {
+  TimedResult result;
+  WallTimer timer;
+
+  Table params(Schema(
+      {"lambda", "avg_price", "del_mu", "del_sigma", "threshold"}));
+  for (const auto& row : BuildQ3Rows(data)) {
+    PIP_RETURN_IF_ERROR(
+        params.Append({Value(row.lambda), Value(row.avg_price),
+                       Value(row.del_mu), Value(row.del_sigma),
+                       Value(row.threshold)}));
+  }
+  SFTable base = SFTable::FromTable(params, num_worlds);
+  PIP_ASSIGN_OR_RETURN(
+      SFTable with_extra,
+      ParametrizeColumn(base, "extra", "Poisson", {"lambda"}, seed));
+  PIP_ASSIGN_OR_RETURN(SFTable with_delivery,
+                       ParametrizeColumn(with_extra, "delivery", "Normal",
+                                         {"del_mu", "del_sigma"},
+                                         seed ^ 0xde11ULL));
+  PIP_ASSIGN_OR_RETURN(
+      SFTable late,
+      samplefirst::Filter(with_delivery,
+                          ColPredicate{CE::Column("delivery") >
+                                       CE::Column("threshold")}));
+  PIP_ASSIGN_OR_RETURN(
+      SFTable mapped,
+      samplefirst::Map(late, {{"lost",
+                               CE::Column("extra") * CE::Column("avg_price")}}));
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  PIP_ASSIGN_OR_RETURN(std::vector<double> sums, PerWorldSums(mapped, "lost"));
+  result.value = MeanOverWorlds(sums);
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+double Q3Truth(const TpchData& data) {
+  double total = 0.0;
+  for (const auto& row : BuildQ3Rows(data)) {
+    double p_late =
+        1.0 - NormalCdf((row.threshold - row.del_mu) / row.del_sigma);
+    total += row.lambda * row.avg_price * p_late;
+  }
+  return total;
+}
+
+double Q3AverageSelectivity(const TpchData& data) {
+  std::vector<Q3Row> rows = BuildQ3Rows(data);
+  double total = 0.0;
+  for (const auto& row : rows) {
+    total += 1.0 - NormalCdf((row.threshold - row.del_mu) / row.del_sigma);
+  }
+  return rows.empty() ? 0.0 : total / rows.size();
+}
+
+// ---------------------------------------------------------------------------
+// Q4
+// ---------------------------------------------------------------------------
+
+StatusOr<SeriesResult> RunQ4Pip(const TpchData& data, double selectivity,
+                                uint64_t seed,
+                                const SamplingOptions& options) {
+  SeriesResult result;
+  WallTimer timer;
+  const double threshold = -std::log(selectivity);
+
+  Database db(seed);
+  struct PartPlan {
+    ExprPtr sales;
+    Condition popular;
+  };
+  std::vector<PartPlan> plans;
+  plans.reserve(data.part.num_rows());
+  for (const auto& row : data.part.rows()) {
+    double lambda = row[3].double_value();
+    PIP_ASSIGN_OR_RETURN(VarRef demand, db.CreateVariable("Poisson", {lambda}));
+    PIP_ASSIGN_OR_RETURN(VarRef pop, db.CreateVariable("Exponential", {1.0}));
+    PartPlan plan;
+    plan.sales = Expr::Var(demand) * Expr::Var(pop);
+    plan.popular = Condition(Expr::Var(pop) > Expr::Constant(threshold));
+    plans.push_back(std::move(plan));
+  }
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  SamplingEngine engine = db.MakeEngine(options);
+  result.per_item.reserve(plans.size());
+  for (const auto& plan : plans) {
+    PIP_ASSIGN_OR_RETURN(ExpectationResult r,
+                         engine.Expectation(plan.sales, plan.popular, false));
+    double estimate = std::isnan(r.expectation) ? 0.0 : r.expectation;
+    result.per_item.push_back(estimate);
+    result.total += estimate;
+  }
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<SeriesResult> RunQ4SampleFirst(const TpchData& data,
+                                        double selectivity, size_t num_worlds,
+                                        uint64_t seed) {
+  SeriesResult result;
+  WallTimer timer;
+  const double threshold = -std::log(selectivity);
+
+  Table params(Schema({"partkey", "lambda", "one"}));
+  for (const auto& row : data.part.rows()) {
+    PIP_RETURN_IF_ERROR(
+        params.Append({row[0], row[3], Value(1.0)}));
+  }
+  SFTable base = SFTable::FromTable(params, num_worlds);
+  PIP_ASSIGN_OR_RETURN(
+      SFTable with_demand,
+      ParametrizeColumn(base, "demand", "Poisson", {"lambda"}, seed));
+  PIP_ASSIGN_OR_RETURN(SFTable with_pop,
+                       ParametrizeColumn(with_demand, "pop", "Exponential",
+                                         {"one"}, seed ^ 0x9090ULL));
+  PIP_ASSIGN_OR_RETURN(
+      SFTable mapped,
+      samplefirst::Map(with_pop, {{"partkey", CE::Column("partkey")},
+                                  {"sales",
+                                   CE::Column("demand") * CE::Column("pop")},
+                                  {"pop", CE::Column("pop")}}));
+  result.query_seconds = timer.Seconds();
+
+  // Per-part conditional estimate: mean of sales over the worlds where the
+  // popularity constraint holds. Most worlds are discarded — the
+  // sample-first pathology the paper studies.
+  timer.Restart();
+  result.per_item.assign(data.part.num_rows(), 0.0);
+  PIP_ASSIGN_OR_RETURN(size_t sales_col, mapped.schema().IndexOf("sales"));
+  PIP_ASSIGN_OR_RETURN(size_t pop_col, mapped.schema().IndexOf("pop"));
+  for (size_t ti = 0; ti < mapped.num_tuples(); ++ti) {
+    const auto& tuple = mapped.tuple(ti);
+    int64_t partkey = std::get<Value>(tuple.cells[0]).int_value();
+    double sum = 0.0;
+    size_t kept = 0;
+    for (size_t w = 0; w < mapped.num_worlds(); ++w) {
+      if (!tuple.PresentIn(w)) continue;
+      PIP_ASSIGN_OR_RETURN(double pop, mapped.CellValue(tuple, pop_col, w));
+      if (pop <= threshold) continue;  // World discarded by the filter.
+      PIP_ASSIGN_OR_RETURN(double sales,
+                           mapped.CellValue(tuple, sales_col, w));
+      sum += sales;
+      ++kept;
+    }
+    double estimate = kept > 0 ? sum / static_cast<double>(kept) : 0.0;
+    result.per_item[static_cast<size_t>(partkey)] = estimate;
+    result.total += estimate;
+  }
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<double> Q4Truth(const TpchData& data, double selectivity) {
+  const double threshold = -std::log(selectivity);
+  std::vector<double> truth;
+  truth.reserve(data.part.num_rows());
+  for (const auto& row : data.part.rows()) {
+    double lambda = row[3].double_value();
+    // E[Poisson * pop | pop > T] = lambda * (T + 1) by independence and
+    // the exponential's memorylessness.
+    truth.push_back(lambda * (threshold + 1.0));
+  }
+  return truth;
+}
+
+// ---------------------------------------------------------------------------
+// Q5
+// ---------------------------------------------------------------------------
+
+double Q5Selectivity(double lambda, double rate) {
+  // P[D > S] = sum_d pmf(d) * P[S < d] over d >= 1.
+  double p = 0.0;
+  int dmax = static_cast<int>(lambda + 10.0 * std::sqrt(lambda) + 20.0);
+  for (int d = 1; d <= dmax; ++d) {
+    p += std::exp(PoissonLogPmf(lambda, d)) * (1.0 - std::exp(-rate * d));
+  }
+  return p;
+}
+
+double Q5SupplyRate(double lambda, double selectivity) {
+  // P is increasing in the rate (higher rate -> smaller supply).
+  double lo = 1e-8, hi = 64.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (Q5Selectivity(lambda, mid) < selectivity) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Q5ConditionalShortfall(double lambda, double rate) {
+  // E[(D - S) 1{D > S}] = sum_d pmf(d) * (d - (1 - e^{-rd})/r);
+  // conditional = numerator / P[D > S].
+  double numerator = 0.0, p = 0.0;
+  int dmax = static_cast<int>(lambda + 10.0 * std::sqrt(lambda) + 20.0);
+  for (int d = 1; d <= dmax; ++d) {
+    double pmf = std::exp(PoissonLogPmf(lambda, d));
+    double tail = 1.0 - std::exp(-rate * d);
+    numerator += pmf * (d - tail / rate);
+    p += pmf * tail;
+  }
+  return p > 0.0 ? numerator / p : 0.0;
+}
+
+StatusOr<SeriesResult> RunQ5Pip(const TpchData& data, double selectivity,
+                                uint64_t seed,
+                                const SamplingOptions& options) {
+  SeriesResult result;
+  WallTimer timer;
+
+  Database db(seed);
+  struct PartPlan {
+    ExprPtr shortfall;
+    Condition undersupplied;
+  };
+  std::vector<PartPlan> plans;
+  plans.reserve(data.part.num_rows());
+  for (const auto& row : data.part.rows()) {
+    double lambda = row[3].double_value();
+    double rate = Q5SupplyRate(lambda, selectivity);
+    PIP_ASSIGN_OR_RETURN(VarRef demand, db.CreateVariable("Poisson", {lambda}));
+    PIP_ASSIGN_OR_RETURN(VarRef supply,
+                         db.CreateVariable("Exponential", {rate}));
+    PartPlan plan;
+    plan.shortfall = Expr::Var(demand) - Expr::Var(supply);
+    // Two-variable atom: no CDF shortcut exists, so PIP must fall back to
+    // rejection sampling — but it still rejects per-sample, immediately,
+    // instead of discarding fully-evaluated worlds.
+    plan.undersupplied = Condition(Expr::Var(demand) > Expr::Var(supply));
+    plans.push_back(std::move(plan));
+  }
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  SamplingEngine engine = db.MakeEngine(options);
+  for (const auto& plan : plans) {
+    PIP_ASSIGN_OR_RETURN(
+        ExpectationResult r,
+        engine.Expectation(plan.shortfall, plan.undersupplied, false));
+    double estimate = std::isnan(r.expectation) ? 0.0 : r.expectation;
+    result.per_item.push_back(estimate);
+    result.total += estimate;
+  }
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+StatusOr<SeriesResult> RunQ5SampleFirst(const TpchData& data,
+                                        double selectivity, size_t num_worlds,
+                                        uint64_t seed) {
+  SeriesResult result;
+  WallTimer timer;
+
+  Table params(Schema({"partkey", "lambda", "rate"}));
+  for (const auto& row : data.part.rows()) {
+    double lambda = row[3].double_value();
+    PIP_RETURN_IF_ERROR(params.Append(
+        {row[0], Value(lambda), Value(Q5SupplyRate(lambda, selectivity))}));
+  }
+  SFTable base = SFTable::FromTable(params, num_worlds);
+  PIP_ASSIGN_OR_RETURN(
+      SFTable with_demand,
+      ParametrizeColumn(base, "demand", "Poisson", {"lambda"}, seed));
+  PIP_ASSIGN_OR_RETURN(SFTable with_supply,
+                       ParametrizeColumn(with_demand, "supply", "Exponential",
+                                         {"rate"}, seed ^ 0x500dULL));
+  result.query_seconds = timer.Seconds();
+
+  timer.Restart();
+  result.per_item.assign(data.part.num_rows(), 0.0);
+  PIP_ASSIGN_OR_RETURN(size_t demand_col,
+                       with_supply.schema().IndexOf("demand"));
+  PIP_ASSIGN_OR_RETURN(size_t supply_col,
+                       with_supply.schema().IndexOf("supply"));
+  for (size_t ti = 0; ti < with_supply.num_tuples(); ++ti) {
+    const auto& tuple = with_supply.tuple(ti);
+    int64_t partkey = std::get<Value>(tuple.cells[0]).int_value();
+    double sum = 0.0;
+    size_t kept = 0;
+    for (size_t w = 0; w < with_supply.num_worlds(); ++w) {
+      if (!tuple.PresentIn(w)) continue;
+      PIP_ASSIGN_OR_RETURN(double d,
+                           with_supply.CellValue(tuple, demand_col, w));
+      PIP_ASSIGN_OR_RETURN(double s,
+                           with_supply.CellValue(tuple, supply_col, w));
+      if (d <= s) continue;  // World discarded by the selection.
+      sum += d - s;
+      ++kept;
+    }
+    double estimate = kept > 0 ? sum / static_cast<double>(kept) : 0.0;
+    result.per_item[static_cast<size_t>(partkey)] = estimate;
+    result.total += estimate;
+  }
+  result.sample_seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<double> Q5Truth(const TpchData& data, double selectivity) {
+  std::vector<double> truth;
+  truth.reserve(data.part.num_rows());
+  for (const auto& row : data.part.rows()) {
+    double lambda = row[3].double_value();
+    double rate = Q5SupplyRate(lambda, selectivity);
+    truth.push_back(Q5ConditionalShortfall(lambda, rate));
+  }
+  return truth;
+}
+
+}  // namespace workload
+}  // namespace pip

@@ -1,0 +1,128 @@
+/// \file queries.h
+/// \brief The paper's evaluation queries (Q1-Q5), on both engines.
+///
+/// Each query has a PIP implementation (symbolic c-table phase + sampling
+/// operators) and a Sample-First implementation (worlds instantiated up
+/// front, tuple-bundle evaluation), mirroring §VI:
+///
+///   Q1  Revenue increase: past growth parametrizes a Poisson prediction
+///       of additional purchases; expected extra revenue (expected_sum).
+///   Q2  Delivery dates: per-supplier Normal manufacturing + shipping
+///       times; expected latest delivery for a Japanese order
+///       (expected_max).
+///   Q3  Profit lost to dissatisfied customers: Q1's profit model joined
+///       with Q2's delivery model through satisfaction thresholds
+///       (selective expected_sum, avg selectivity ~0.1).
+///   Q4  Part demand under extreme popularity: Poisson demand x
+///       Exponential popularity, restricted to the rare high-popularity
+///       scenario (group-by per part; the selectivity knob of Figs. 5/7a).
+///   Q5  Underproduction: Exponential supply vs Poisson demand, restricted
+///       to worlds where demand exceeds supply (two-variable atom that
+///       forces rejection sampling; Fig. 7b).
+///
+/// Timing convention: query_seconds covers the deterministic/symbolic
+/// phase (parameter extraction, c-table construction or up-front world
+/// instantiation); sample_seconds covers integration (PIP sampling
+/// operators, or Sample-First world reduction).
+
+#ifndef PIP_WORKLOAD_QUERIES_H_
+#define PIP_WORKLOAD_QUERIES_H_
+
+#include "src/engine/database.h"
+#include "src/samplefirst/sf_ops.h"
+#include "src/workload/tpch.h"
+
+namespace pip {
+namespace workload {
+
+/// \brief A scalar query result with phase timings.
+struct TimedResult {
+  double value = 0.0;
+  double query_seconds = 0.0;
+  double sample_seconds = 0.0;
+};
+
+/// \brief A per-item (part/supplier/ship) query result with timings.
+struct SeriesResult {
+  std::vector<double> per_item;
+  double total = 0.0;
+  double query_seconds = 0.0;
+  double sample_seconds = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Q1: expected additional revenue from predicted purchase increases.
+// ---------------------------------------------------------------------------
+
+StatusOr<TimedResult> RunQ1Pip(const TpchData& data, uint64_t seed,
+                               const SamplingOptions& options);
+StatusOr<TimedResult> RunQ1SampleFirst(const TpchData& data,
+                                       size_t num_worlds, uint64_t seed);
+/// Closed form: sum over customers of lambda_c * avg_order_price_c.
+double Q1Truth(const TpchData& data);
+
+// ---------------------------------------------------------------------------
+// Q2: expected latest delivery date across a Japanese order's parts.
+// ---------------------------------------------------------------------------
+
+StatusOr<TimedResult> RunQ2Pip(const TpchData& data, uint64_t seed,
+                               const SamplingOptions& options,
+                               size_t world_samples = 1000);
+StatusOr<TimedResult> RunQ2SampleFirst(const TpchData& data,
+                                       size_t num_worlds, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Q3: expected profit lost to dissatisfied customers.
+// ---------------------------------------------------------------------------
+
+StatusOr<TimedResult> RunQ3Pip(const TpchData& data, uint64_t seed,
+                               const SamplingOptions& options);
+StatusOr<TimedResult> RunQ3SampleFirst(const TpchData& data,
+                                       size_t num_worlds, uint64_t seed);
+/// Closed form: sum over customers of lambda_c * avg_price_c * P[late_c].
+double Q3Truth(const TpchData& data);
+/// Average P[delivery > threshold] across customers (the query's
+/// selectivity; ~0.1 with the default generator parameters).
+double Q3AverageSelectivity(const TpchData& data);
+
+// ---------------------------------------------------------------------------
+// Q4: per-part expected demand in the extreme-popularity scenario.
+// ---------------------------------------------------------------------------
+
+/// `selectivity` sets the popularity threshold T = -ln(selectivity)
+/// (popularity ~ Exponential(1), so P[pop > T] = selectivity).
+StatusOr<SeriesResult> RunQ4Pip(const TpchData& data, double selectivity,
+                                uint64_t seed,
+                                const SamplingOptions& options);
+StatusOr<SeriesResult> RunQ4SampleFirst(const TpchData& data,
+                                        double selectivity,
+                                        size_t num_worlds, uint64_t seed);
+/// Closed form per part: lambda_p * (T + 1) (Poisson independent of the
+/// memoryless exponential popularity).
+std::vector<double> Q4Truth(const TpchData& data, double selectivity);
+
+// ---------------------------------------------------------------------------
+// Q5: per-part expected underproduction where demand exceeds supply.
+// ---------------------------------------------------------------------------
+
+StatusOr<SeriesResult> RunQ5Pip(const TpchData& data, double selectivity,
+                                uint64_t seed,
+                                const SamplingOptions& options);
+StatusOr<SeriesResult> RunQ5SampleFirst(const TpchData& data,
+                                        double selectivity,
+                                        size_t num_worlds, uint64_t seed);
+/// Closed form per part via the Poisson series (see Q5SupplyRate).
+std::vector<double> Q5Truth(const TpchData& data, double selectivity);
+
+/// Solves for the Exponential supply rate r making
+/// P[demand > supply] = selectivity for Poisson(lambda) demand.
+double Q5SupplyRate(double lambda, double selectivity);
+/// P[Poisson(lambda) > Exponential(r)] (exact series).
+double Q5Selectivity(double lambda, double rate);
+/// E[demand - supply | demand > supply] (exact series).
+double Q5ConditionalShortfall(double lambda, double rate);
+
+}  // namespace workload
+}  // namespace pip
+
+#endif  // PIP_WORKLOAD_QUERIES_H_

@@ -1,0 +1,113 @@
+#include "src/workload/tpch.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/random.h"
+
+namespace pip {
+namespace workload {
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+  TpchData data;
+
+  data.customer = Table(Schema({"custkey", "name", "satisfaction_threshold"}));
+  for (size_t c = 0; c < config.num_customers; ++c) {
+    // Threshold in days: most customers tolerate ~a week and a half.
+    double threshold = rng.NextUniform(8.0, 16.0);
+    PIP_CHECK(data.customer
+                  .Append({Value(static_cast<int64_t>(c)),
+                           Value("customer#" + std::to_string(c)),
+                           Value(threshold)})
+                  .ok());
+  }
+
+  data.orders = Table(Schema({"orderkey", "custkey", "year", "totalprice"}));
+  int64_t orderkey = 0;
+  for (size_t c = 0; c < config.num_customers; ++c) {
+    // Customer-specific spending level; year-2 spending grows by a
+    // customer-specific factor so increase rates vary across customers.
+    double base_price = rng.NextUniform(500.0, 5000.0);
+    double growth = rng.NextUniform(1.0, 1.6);
+    for (int year = 1; year <= 2; ++year) {
+      size_t n = config.orders_per_customer_per_year +
+                 static_cast<size_t>(rng.NextBounded(3));
+      for (size_t o = 0; o < n; ++o) {
+        double price = base_price * (year == 2 ? growth : 1.0) *
+                       rng.NextUniform(0.6, 1.4);
+        PIP_CHECK(data.orders
+                      .Append({Value(orderkey++),
+                               Value(static_cast<int64_t>(c)),
+                               Value(static_cast<int64_t>(year)),
+                               Value(price)})
+                      .ok());
+      }
+    }
+  }
+
+  data.supplier = Table(Schema({"suppkey", "nation", "manuf_mu",
+                                "manuf_sigma", "ship_mu", "ship_sigma"}));
+  const char* nations[] = {"JAPAN", "GERMANY", "BRAZIL", "CANADA"};
+  for (size_t s = 0; s < config.num_suppliers; ++s) {
+    PIP_CHECK(data.supplier
+                  .Append({Value(static_cast<int64_t>(s)),
+                           Value(nations[rng.NextBounded(4)]),
+                           Value(rng.NextUniform(3.0, 9.0)),   // manuf_mu
+                           Value(rng.NextUniform(0.5, 2.0)),   // manuf_sigma
+                           Value(rng.NextUniform(2.0, 7.0)),   // ship_mu
+                           Value(rng.NextUniform(0.5, 2.5))})  // ship_sigma
+                  .ok());
+  }
+
+  data.part =
+      Table(Schema({"partkey", "suppkey", "price", "demand_lambda"}));
+  for (size_t p = 0; p < config.num_parts; ++p) {
+    PIP_CHECK(
+        data.part
+            .Append({Value(static_cast<int64_t>(p)),
+                     Value(static_cast<int64_t>(rng.NextBounded(
+                         config.num_suppliers))),
+                     Value(rng.NextUniform(10.0, 200.0)),  // unit price
+                     Value(rng.NextUniform(1.0, 12.0))})   // demand lambda
+            .ok());
+  }
+
+  return data;
+}
+
+std::vector<CustomerRevenue> SummarizeRevenue(const TpchData& data) {
+  std::map<int64_t, CustomerRevenue> by_customer;
+  std::map<int64_t, int> order_counts;
+  for (const auto& row : data.orders.rows()) {
+    int64_t custkey = row[1].int_value();
+    int64_t year = row[2].int_value();
+    double price = row[3].double_value();
+    auto& entry = by_customer[custkey];
+    entry.custkey = custkey;
+    if (year == 1) {
+      entry.revenue_year1 += price;
+    } else {
+      entry.revenue_year2 += price;
+    }
+    order_counts[custkey] += 1;
+  }
+  std::vector<CustomerRevenue> out;
+  out.reserve(by_customer.size());
+  for (auto& [custkey, entry] : by_customer) {
+    double total = entry.revenue_year1 + entry.revenue_year2;
+    entry.avg_order_price =
+        total / std::max(1, order_counts[custkey]);
+    // Percent increase, clamped positive: Poisson rates must be > 0.
+    double pct = entry.revenue_year1 > 0.0
+                     ? (entry.revenue_year2 - entry.revenue_year1) /
+                           entry.revenue_year1
+                     : 0.0;
+    entry.increase_lambda = std::max(0.05, pct * 10.0);
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace pip

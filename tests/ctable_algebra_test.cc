@@ -1,0 +1,403 @@
+#include "src/ctable/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ctable/ctable.h"
+
+namespace pip {
+namespace {
+
+using CE = ColExpr;
+
+VarRef X1{101, 0};
+VarRef X2{102, 0};
+VarRef X3{103, 0};
+VarRef X4{104, 0};
+
+/// The running example of the paper: Order(Cust, ShipTo, Price) and
+/// Shipping(Dest, Duration) with variable prices and durations.
+CTable MakeOrderTable() {
+  CTable t(Schema({"Cust", "ShipTo", "Price"}));
+  PIP_CHECK(t.Append({Expr::String("Joe"), Expr::String("NY"), Expr::Var(X1)})
+                .ok());
+  PIP_CHECK(t.Append({Expr::String("Bob"), Expr::String("LA"), Expr::Var(X3)})
+                .ok());
+  return t;
+}
+
+CTable MakeShippingTable() {
+  CTable t(Schema({"Dest", "Duration"}));
+  PIP_CHECK(t.Append({Expr::String("NY"), Expr::Var(X2)}).ok());
+  PIP_CHECK(t.Append({Expr::String("LA"), Expr::Var(X4)}).ok());
+  return t;
+}
+
+TEST(CTableTest, FromTableLiftsDeterministically) {
+  Table t(Schema({"a", "b"}));
+  ASSERT_TRUE(t.Append({Value(int64_t{1}), Value("x")}).ok());
+  CTable ct = CTable::FromTable(t);
+  EXPECT_EQ(ct.num_rows(), 1u);
+  EXPECT_TRUE(ct.row(0).IsDeterministic());
+  EXPECT_TRUE(ct.row(0).condition.IsTrue());
+}
+
+TEST(CTableTest, AppendDropsKnownFalseRows) {
+  CTable t(Schema({"a"}));
+  ASSERT_TRUE(t.Append({Expr::Constant(1.0)}, Condition::False()).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(CTableTest, InstantiatePossibleWorld) {
+  CTable t(Schema({"p"}));
+  Condition c(Expr::Var(X2) >= Expr::Constant(7.0));
+  ASSERT_TRUE(t.Append({Expr::Var(X1)}, c).ok());
+  Assignment world;
+  world.Set(X1, 42.0);
+  world.Set(X2, 9.0);
+  Table w = t.Instantiate(world).value();
+  ASSERT_EQ(w.num_rows(), 1u);
+  EXPECT_EQ(w.row(0)[0], Value(42.0));
+  world.Set(X2, 3.0);
+  EXPECT_EQ(t.Instantiate(world).value().num_rows(), 0u);
+}
+
+// The full Example 2.1 pipeline:
+//   pi_Price(sigma_{ShipTo=Dest}(sigma_{Cust='Joe'}(Order) x
+//            sigma_{Duration>=7}(Shipping)))
+TEST(AlgebraTest, RunningExampleProducesExpectedCTable) {
+  CTable orders = MakeOrderTable();
+  CTable shipping = MakeShippingTable();
+
+  CTable joe = Select(orders, ColPredicate{CE::Column("Cust") ==
+                                           CE::Literal("Joe")})
+                   .value();
+  ASSERT_EQ(joe.num_rows(), 1u);  // Deterministic filter applied eagerly.
+
+  CTable late =
+      Select(shipping,
+             ColPredicate{CE::Column("Duration") >= CE::Literal(7.0)})
+          .value();
+  ASSERT_EQ(late.num_rows(), 2u);  // Probabilistic: both rows conditioned.
+  EXPECT_EQ(late.row(0).condition.size(), 1u);
+
+  CTable product = Product(joe, late).value();
+  ASSERT_EQ(product.num_rows(), 2u);
+
+  CTable matched =
+      Select(product,
+             ColPredicate{CE::Column("ShipTo") == CE::Column("Dest")})
+          .value();
+  // ShipTo and Dest are constants: 'NY'='NY' keeps row 1, 'NY'='LA' drops
+  // row 2.
+  ASSERT_EQ(matched.num_rows(), 1u);
+
+  CTable prices =
+      Project(matched, {{"Price", CE::Column("Price")}}).value();
+  ASSERT_EQ(prices.num_rows(), 1u);
+  EXPECT_EQ(prices.schema().ToString(), "(Price)");
+  // The surviving row is (X1 | X2 >= 7) — the paper's result table R.
+  EXPECT_TRUE(prices.row(0).cells[0]->Equals(*Expr::Var(X1)));
+  ASSERT_EQ(prices.row(0).condition.size(), 1u);
+  EXPECT_EQ(prices.row(0).condition.atoms()[0].ToString(), "X102 >= 7");
+}
+
+TEST(AlgebraTest, SelectBindsRowCellsIntoAtoms) {
+  CTable t(Schema({"v"}));
+  ASSERT_TRUE(t.Append({Expr::Var(X1)}).ok());
+  CTable sel =
+      Select(t, ColPredicate{CE::Column("v") * CE::Literal(2.0) >
+                             CE::Literal(10.0)})
+          .value();
+  ASSERT_EQ(sel.num_rows(), 1u);
+  EXPECT_EQ(sel.row(0).condition.atoms()[0].ToString(), "(X101 * 2) > 10");
+}
+
+TEST(AlgebraTest, ProjectComputesArithmeticTargets) {
+  CTable t(Schema({"a", "b"}));
+  ASSERT_TRUE(t.Append({Expr::Constant(3.0), Expr::Var(X1)}).ok());
+  CTable p = Project(t, {{"sum", CE::Column("a") + CE::Column("b")},
+                         {"double_a", CE::Column("a") * CE::Literal(2.0)}})
+                 .value();
+  EXPECT_EQ(p.row(0).cells[1]->value(), Value(6.0));  // Folded constant.
+  Assignment a;
+  a.Set(X1, 4.0);
+  EXPECT_EQ(p.row(0).cells[0]->EvalDouble(a).value(), 7.0);
+}
+
+TEST(AlgebraTest, ProductConjoinsConditions) {
+  CTable l(Schema({"a"})), r(Schema({"b"}));
+  ASSERT_TRUE(l.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X1) > Expr::Constant(0.0)))
+                  .ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(2.0)},
+                       Condition(Expr::Var(X2) > Expr::Constant(0.0)))
+                  .ok());
+  CTable prod = Product(l, r).value();
+  ASSERT_EQ(prod.num_rows(), 1u);
+  EXPECT_EQ(prod.row(0).condition.size(), 2u);
+}
+
+TEST(AlgebraTest, UnionPreservesBagSemantics) {
+  CTable l(Schema({"a"})), r(Schema({"a"}));
+  ASSERT_TRUE(l.Append({Expr::Constant(1.0)}).ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(1.0)}).ok());
+  CTable u = Union(l, r).value();
+  EXPECT_EQ(u.num_rows(), 2u);  // Duplicates preserved.
+}
+
+TEST(AlgebraTest, UnionArityMismatchRejected) {
+  CTable l(Schema({"a"})), r(Schema({"a", "b"}));
+  EXPECT_FALSE(Union(l, r).ok());
+}
+
+TEST(AlgebraTest, DistinctCoalescesIdenticalRowsSameCondition) {
+  CTable t(Schema({"a"}));
+  Condition c(Expr::Var(X1) > Expr::Constant(0.0));
+  ASSERT_TRUE(t.Append({Expr::Constant(1.0)}, c).ok());
+  ASSERT_TRUE(t.Append({Expr::Constant(1.0)}, c).ok());
+  CTable d = Distinct(t).value();
+  EXPECT_EQ(d.num_rows(), 1u);
+}
+
+TEST(AlgebraTest, DistinctKeepsDisjunctsSeparate) {
+  // Same data, different conditions: bag-encoded disjunction survives.
+  CTable t(Schema({"a"}));
+  ASSERT_TRUE(t.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X1) > Expr::Constant(0.0)))
+                  .ok());
+  ASSERT_TRUE(t.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X2) > Expr::Constant(0.0)))
+                  .ok());
+  CTable d = Distinct(t).value();
+  EXPECT_EQ(d.num_rows(), 2u);
+}
+
+TEST(AlgebraTest, DifferenceWithUnconditionalRhsRemovesRow) {
+  CTable l(Schema({"a"})), r(Schema({"a"}));
+  ASSERT_TRUE(l.Append({Expr::Constant(1.0)}).ok());
+  ASSERT_TRUE(l.Append({Expr::Constant(2.0)}).ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(1.0)}).ok());
+  CTable d = Difference(l, r).value();
+  ASSERT_EQ(d.num_rows(), 1u);
+  EXPECT_EQ(d.row(0).cells[0]->value(), Value(2.0));
+}
+
+TEST(AlgebraTest, DifferenceNegatesConditionalRhs) {
+  // L has unconditional (1); R has (1 | X1 > 0). Result: (1 | X1 <= 0).
+  CTable l(Schema({"a"})), r(Schema({"a"}));
+  ASSERT_TRUE(l.Append({Expr::Constant(1.0)}).ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X1) > Expr::Constant(0.0)))
+                  .ok());
+  CTable d = Difference(l, r).value();
+  ASSERT_EQ(d.num_rows(), 1u);
+  Assignment a;
+  a.Set(X1, -1.0);
+  EXPECT_TRUE(d.row(0).condition.Eval(a).value());
+  a.Set(X1, 1.0);
+  EXPECT_FALSE(d.row(0).condition.Eval(a).value());
+}
+
+/// Property: for every operator, instantiating the symbolic result in a
+/// possible world equals applying the deterministic operator to the
+/// instantiated inputs (Fig. 1 correctness), checked over random worlds.
+class AlgebraWorldEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgebraWorldEquivalenceTest, SelectProductProjectCommuteWithWorlds) {
+  CTable orders = MakeOrderTable();
+  CTable shipping = MakeShippingTable();
+  CTable joined =
+      Join(orders, shipping,
+           ColPredicate{CE::Column("ShipTo") == CE::Column("Dest"),
+                        CE::Column("Duration") >= CE::Literal(7.0)})
+          .value();
+  CTable projected =
+      Project(joined, {{"Price", CE::Column("Price")}}).value();
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    Assignment world;
+    world.Set(X1, rng.NextUniform(0, 100));
+    world.Set(X2, rng.NextUniform(0, 14));
+    world.Set(X3, rng.NextUniform(0, 100));
+    world.Set(X4, rng.NextUniform(0, 14));
+
+    // Deterministic evaluation in the world.
+    Table det_orders = orders.Instantiate(world).value();
+    Table det_shipping = shipping.Instantiate(world).value();
+    std::vector<double> expected;
+    for (const auto& orow : det_orders.rows()) {
+      for (const auto& srow : det_shipping.rows()) {
+        if (orow[1] == srow[0] && srow[1].AsDouble().value() >= 7.0) {
+          expected.push_back(orow[2].AsDouble().value());
+        }
+      }
+    }
+    // Symbolic-then-instantiate.
+    Table actual = projected.Instantiate(world).value();
+    ASSERT_EQ(actual.num_rows(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual.row(i)[0].AsDouble().value(), expected[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraWorldEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AlgebraTest, DifferenceAgainstDisjunctiveRhs) {
+  // R = {(1)}, S = {(1 | X>0), (1 | Y>0)} (bag-encoded disjunction):
+  // surviving condition is NOT(X>0) AND NOT(Y>0).
+  CTable l(Schema({"a"})), r(Schema({"a"}));
+  ASSERT_TRUE(l.Append({Expr::Constant(1.0)}).ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X1) > Expr::Constant(0.0)))
+                  .ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X2) > Expr::Constant(0.0)))
+                  .ok());
+  CTable d = Difference(l, r).value();
+  for (double x : {-1.0, 1.0}) {
+    for (double y : {-1.0, 1.0}) {
+      Assignment world;
+      world.Set(X1, x);
+      world.Set(X2, y);
+      size_t present = 0;
+      for (const auto& row : d.rows()) {
+        if (row.condition.Eval(world).value()) ++present;
+      }
+      bool expect_present = !(x > 0.0) && !(y > 0.0);
+      EXPECT_EQ(present, expect_present ? 1u : 0u) << x << "," << y;
+    }
+  }
+}
+
+TEST(AlgebraTest, DifferenceConditionalLhsKeepsItsCondition) {
+  // R = {(1 | X1 > 0)}, S = {(1 | X1 > 5)}: survivor needs X1 > 0 AND
+  // NOT(X1 > 5), i.e. 0 < X1 <= 5.
+  CTable l(Schema({"a"})), r(Schema({"a"}));
+  ASSERT_TRUE(l.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X1) > Expr::Constant(0.0)))
+                  .ok());
+  ASSERT_TRUE(r.Append({Expr::Constant(1.0)},
+                       Condition(Expr::Var(X1) > Expr::Constant(5.0)))
+                  .ok());
+  CTable d = Difference(l, r).value();
+  for (double x : {-1.0, 3.0, 7.0}) {
+    Assignment world;
+    world.Set(X1, x);
+    size_t present = 0;
+    for (const auto& row : d.rows()) {
+      if (row.condition.Eval(world).value()) ++present;
+    }
+    EXPECT_EQ(present, (x > 0.0 && x <= 5.0) ? 1u : 0u) << "x=" << x;
+  }
+}
+
+TEST(AlgebraTest, SelectOnEmptyTable) {
+  CTable t(Schema({"a"}));
+  CTable out = Select(t, ColPredicate{CE::Column("a") > CE::Literal(0.0)})
+                   .value();
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(AlgebraTest, ProjectMissingColumnFails) {
+  CTable t(Schema({"a"}));
+  PIP_CHECK(t.Append({Expr::Constant(1.0)}).ok());
+  EXPECT_FALSE(Project(t, {{"z", CE::Column("zz")}}).ok());
+}
+
+TEST(AlgebraTest, ProductOfEmptyIsEmpty) {
+  CTable l(Schema({"a"})), r(Schema({"b"}));
+  PIP_CHECK(l.Append({Expr::Constant(1.0)}).ok());
+  CTable out = Product(l, r).value();
+  EXPECT_EQ(out.num_rows(), 0u);
+  EXPECT_EQ(out.schema().size(), 2u);
+}
+
+TEST(AlgebraTest, GroupByPartitionsOnConstants) {
+  CTable t(Schema({"g", "v"}));
+  ASSERT_TRUE(t.Append({Expr::String("a"), Expr::Var(X1)}).ok());
+  ASSERT_TRUE(t.Append({Expr::String("b"), Expr::Var(X2)}).ok());
+  ASSERT_TRUE(t.Append({Expr::String("a"), Expr::Var(X3)}).ok());
+  auto groups = GroupBy(t, {"g"}).value();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key[0], Value("a"));
+  EXPECT_EQ(groups[0].rows.num_rows(), 2u);
+  EXPECT_EQ(groups[1].key[0], Value("b"));
+  EXPECT_EQ(groups[1].rows.num_rows(), 1u);
+}
+
+TEST(AlgebraTest, GroupByRejectsProbabilisticKey) {
+  CTable t(Schema({"g"}));
+  ASSERT_TRUE(t.Append({Expr::Var(X1)}).ok());
+  EXPECT_FALSE(GroupBy(t, {"g"}).ok());
+}
+
+TEST(AlgebraTest, ExplodeDiscreteEnumeratesValuations) {
+  VariablePool pool;
+  VarRef b = pool.Create("Bernoulli", {0.5}).value();
+  CTable t(Schema({"v"}));
+  ASSERT_TRUE(
+      t.Append({Expr::Var(b) * Expr::Constant(10.0)}).ok());
+  CTable e = ExplodeDiscrete(t, pool).value();
+  ASSERT_EQ(e.num_rows(), 2u);
+  // Cells are substituted to constants; conditions carry the X = v guard.
+  EXPECT_EQ(e.row(0).cells[0]->value(), Value(0.0));
+  EXPECT_EQ(e.row(1).cells[0]->value(), Value(10.0));
+  EXPECT_EQ(e.row(0).condition.size(), 1u);
+}
+
+TEST(AlgebraTest, ExplodeDiscretePrunesContradictoryRows) {
+  VariablePool pool;
+  VarRef d = pool.Create("DiscreteUniform", {1.0, 3.0}).value();
+  CTable t(Schema({"v"}));
+  Condition c(Expr::Var(d) >= Expr::Constant(2.0));
+  ASSERT_TRUE(t.Append({Expr::Var(d)}, c).ok());
+  CTable e = ExplodeDiscrete(t, pool).value();
+  // Valuation d=1 contradicts d >= 2 and is dropped.
+  EXPECT_EQ(e.num_rows(), 2u);
+}
+
+TEST(AlgebraTest, ExplodeLeavesContinuousAlone) {
+  VariablePool pool;
+  VarRef n = pool.Create("Normal", {0.0, 1.0}).value();
+  CTable t(Schema({"v"}));
+  ASSERT_TRUE(t.Append({Expr::Var(n)}).ok());
+  CTable e = ExplodeDiscrete(t, pool).value();
+  EXPECT_EQ(e.num_rows(), 1u);
+  EXPECT_FALSE(e.row(0).cells[0]->IsConstant());
+}
+
+TEST(AlgebraTest, ExplodeRespectsExpansionCap) {
+  VariablePool pool;
+  VarRef d = pool.Create("DiscreteUniform", {0.0, 99.0}).value();
+  CTable t(Schema({"v"}));
+  ASSERT_TRUE(t.Append({Expr::Var(d)}).ok());
+  CTable e = ExplodeDiscrete(t, pool, /*max_expansion=*/10).value();
+  EXPECT_EQ(e.num_rows(), 1u);  // Too large: left unexploded.
+}
+
+TEST(AlgebraTest, WorldEquivalenceOfExplosion) {
+  // Explosion must not change possible-world semantics.
+  VariablePool pool;
+  VarRef d = pool.Create("DiscreteUniform", {0.0, 2.0}).value();
+  CTable t(Schema({"v"}));
+  ASSERT_TRUE(t.Append({Expr::Var(d) * Expr::Constant(2.0)},
+                       Condition(Expr::Var(d) > Expr::Constant(0.0)))
+                  .ok());
+  CTable e = ExplodeDiscrete(t, pool).value();
+  for (double val : {0.0, 1.0, 2.0}) {
+    Assignment world;
+    world.Set(d, val);
+    Table before = t.Instantiate(world).value();
+    Table after = e.Instantiate(world).value();
+    ASSERT_EQ(before.num_rows(), after.num_rows()) << "val=" << val;
+    for (size_t i = 0; i < before.num_rows(); ++i) {
+      EXPECT_EQ(before.row(i)[0], after.row(i)[0]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pip

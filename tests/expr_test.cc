@@ -1,0 +1,291 @@
+#include "src/expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/expr/atom.h"
+#include "src/expr/condition.h"
+
+namespace pip {
+namespace {
+
+VarRef X{1, 0};
+VarRef Y{2, 0};
+VarRef Z{3, 0};
+
+TEST(ExprTest, ConstantFolding) {
+  ExprPtr e = Expr::Constant(2.0) + Expr::Constant(3.0);
+  ASSERT_TRUE(e->IsConstant());
+  EXPECT_EQ(e->value(), Value(5.0));
+  EXPECT_EQ((Expr::Constant(4.0) * Expr::Constant(0.5))->value(), Value(2.0));
+  EXPECT_EQ((Expr::Constant(4.0) / Expr::Constant(2.0))->value(), Value(2.0));
+  EXPECT_EQ((-Expr::Constant(4.0))->value(), Value(-4.0));
+}
+
+TEST(ExprTest, DivisionByZeroConstantStaysSymbolic) {
+  ExprPtr e = Expr::Constant(4.0) / Expr::Constant(0.0);
+  EXPECT_FALSE(e->IsConstant());
+  EXPECT_FALSE(e->Eval(Assignment()).ok());
+}
+
+TEST(ExprTest, EvalWithAssignment) {
+  ExprPtr e = Expr::Var(X) * Expr::Constant(3.0) + Expr::Var(Y);
+  Assignment a;
+  a.Set(X, 2.0);
+  a.Set(Y, 1.0);
+  EXPECT_EQ(e->EvalDouble(a).value(), 7.0);
+}
+
+TEST(ExprTest, EvalMissingVariableFails) {
+  ExprPtr e = Expr::Var(X);
+  EXPECT_FALSE(e->Eval(Assignment()).ok());
+}
+
+TEST(ExprTest, FunctionEval) {
+  Assignment a;
+  a.Set(X, 2.0);
+  EXPECT_NEAR(Expr::Func(FuncKind::kExp, Expr::Var(X))->EvalDouble(a).value(),
+              std::exp(2.0), 1e-12);
+  EXPECT_NEAR(Expr::Func(FuncKind::kLog, Expr::Var(X))->EvalDouble(a).value(),
+              std::log(2.0), 1e-12);
+  EXPECT_EQ(Expr::Func(FuncKind::kMin, Expr::Var(X), Expr::Constant(1.0))
+                ->EvalDouble(a)
+                .value(),
+            1.0);
+  EXPECT_EQ(Expr::Func(FuncKind::kMax, Expr::Var(X), Expr::Constant(1.0))
+                ->EvalDouble(a)
+                .value(),
+            2.0);
+  EXPECT_EQ(Expr::Func(FuncKind::kPow, Expr::Var(X), Expr::Constant(3.0))
+                ->EvalDouble(a)
+                .value(),
+            8.0);
+}
+
+TEST(ExprTest, LogOfNonPositiveFails) {
+  Assignment a;
+  a.Set(X, -1.0);
+  EXPECT_FALSE(Expr::Func(FuncKind::kLog, Expr::Var(X))->Eval(a).ok());
+}
+
+TEST(ExprTest, VariableCollection) {
+  ExprPtr e = Expr::Var(X) * (Expr::Var(Y) + Expr::Constant(1.0));
+  VarSet vars = e->Variables();
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(vars.count(X));
+  EXPECT_TRUE(vars.count(Y));
+  EXPECT_TRUE(Expr::Constant(5.0)->IsDeterministic());
+  EXPECT_FALSE(e->IsDeterministic());
+}
+
+TEST(ExprTest, PolynomialDegree) {
+  EXPECT_EQ(Expr::Constant(1.0)->PolynomialDegree(), 0);
+  EXPECT_EQ(Expr::Var(X)->PolynomialDegree(), 1);
+  EXPECT_EQ((Expr::Var(X) + Expr::Var(Y))->PolynomialDegree(), 1);
+  EXPECT_EQ((Expr::Var(X) * Expr::Var(Y))->PolynomialDegree(), 2);
+  EXPECT_EQ((Expr::Var(X) * Expr::Var(X) * Expr::Var(X))->PolynomialDegree(),
+            3);
+  EXPECT_EQ((Expr::Var(X) / Expr::Constant(2.0))->PolynomialDegree(), 1);
+  EXPECT_EQ((Expr::Constant(1.0) / Expr::Var(X))->PolynomialDegree(), -1);
+  EXPECT_EQ(Expr::Func(FuncKind::kExp, Expr::Var(X))->PolynomialDegree(), -1);
+}
+
+TEST(ExprTest, LinearFormExtraction) {
+  // 3*X - Y/2 + 7
+  ExprPtr e = Expr::Constant(3.0) * Expr::Var(X) -
+              Expr::Var(Y) / Expr::Constant(2.0) + Expr::Constant(7.0);
+  LinearForm f = e->ToLinearForm().value();
+  EXPECT_EQ(f.constant, 7.0);
+  EXPECT_EQ(f.coefficients.at(X), 3.0);
+  EXPECT_EQ(f.coefficients.at(Y), -0.5);
+}
+
+TEST(ExprTest, LinearFormCancellation) {
+  ExprPtr e = Expr::Var(X) - Expr::Var(X);
+  LinearForm f = e->ToLinearForm().value();
+  EXPECT_TRUE(f.coefficients.empty());
+  EXPECT_EQ(f.constant, 0.0);
+}
+
+TEST(ExprTest, LinearFormRejectsNonlinear) {
+  EXPECT_FALSE((Expr::Var(X) * Expr::Var(Y))->ToLinearForm().ok());
+  EXPECT_FALSE(Expr::Func(FuncKind::kExp, Expr::Var(X))->ToLinearForm().ok());
+  EXPECT_FALSE((Expr::Constant(1.0) / Expr::Var(X))->ToLinearForm().ok());
+}
+
+TEST(ExprTest, IntervalEvaluation) {
+  // X in [0, 2], Y in [1, 3]: X*Y + 1 in [1, 7].
+  ExprPtr e = Expr::Var(X) * Expr::Var(Y) + Expr::Constant(1.0);
+  auto bounds = [](VarRef v) {
+    return v.var_id == 1 ? Interval(0, 2) : Interval(1, 3);
+  };
+  Interval r = e->EvalInterval(bounds);
+  EXPECT_EQ(r, Interval(1, 7));
+}
+
+TEST(ExprTest, IntervalEvaluationExp) {
+  ExprPtr e = Expr::Func(FuncKind::kExp, Expr::Var(X));
+  auto bounds = [](VarRef) { return Interval(0, 1); };
+  Interval r = e->EvalInterval(bounds);
+  EXPECT_NEAR(r.lo, 1.0, 1e-12);
+  EXPECT_NEAR(r.hi, std::exp(1.0), 1e-12);
+}
+
+TEST(ExprTest, SubstitutePartial) {
+  ExprPtr e = Expr::Var(X) + Expr::Var(Y);
+  Assignment a;
+  a.Set(X, 5.0);
+  ExprPtr sub = Expr::Substitute(e, a);
+  VarSet vars = sub->Variables();
+  EXPECT_EQ(vars.size(), 1u);
+  EXPECT_TRUE(vars.count(Y));
+  a.Set(Y, 2.0);
+  EXPECT_EQ(Expr::Substitute(e, a)->value(), Value(7.0));
+}
+
+TEST(ExprTest, SubstituteSharesUntouchedSubtrees) {
+  ExprPtr e = Expr::Var(X) + Expr::Constant(1.0);
+  ExprPtr same = Expr::Substitute(e, Assignment());
+  EXPECT_EQ(e.get(), same.get());
+}
+
+TEST(ExprTest, EqualsAndHash) {
+  ExprPtr a = Expr::Var(X) * Expr::Constant(3.0);
+  ExprPtr b = Expr::Var(X) * Expr::Constant(3.0);
+  ExprPtr c = Expr::Var(Y) * Expr::Constant(3.0);
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_NE(a->Hash(), c->Hash());
+}
+
+TEST(ExprTest, ToStringReadable) {
+  ExprPtr e = Expr::Var(X) * Expr::Constant(3.0);
+  EXPECT_EQ(e->ToString(), "(X1 * 3)");
+}
+
+TEST(AtomTest, EvalComparisons) {
+  Assignment a;
+  a.Set(X, 2.0);
+  EXPECT_TRUE((Expr::Var(X) > Expr::Constant(1.0)).Eval(a).value());
+  EXPECT_FALSE((Expr::Var(X) > Expr::Constant(2.0)).Eval(a).value());
+  EXPECT_TRUE((Expr::Var(X) >= Expr::Constant(2.0)).Eval(a).value());
+  EXPECT_TRUE((Expr::Var(X) == Expr::Constant(2.0)).Eval(a).value());
+  EXPECT_TRUE((Expr::Var(X) != Expr::Constant(3.0)).Eval(a).value());
+  EXPECT_TRUE((Expr::Var(X) < Expr::Constant(3.0)).Eval(a).value());
+}
+
+TEST(AtomTest, StringComparison) {
+  ConstraintAtom atom(Expr::String("joe"), CmpOp::kEq, Expr::String("joe"));
+  EXPECT_TRUE(atom.EvalDeterministic().value());
+}
+
+TEST(AtomTest, NegatedComplement) {
+  // An atom and its negation always disagree.
+  Assignment a;
+  a.Set(X, 2.0);
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe, CmpOp::kEq,
+                   CmpOp::kNe}) {
+    ConstraintAtom atom(Expr::Var(X), op, Expr::Constant(2.0));
+    EXPECT_NE(atom.Eval(a).value(), atom.Negated().Eval(a).value());
+  }
+}
+
+TEST(AtomTest, FlipCmpSwapsSides) {
+  Assignment a;
+  a.Set(X, 2.0);
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe}) {
+    ConstraintAtom fwd(Expr::Var(X), op, Expr::Constant(1.0));
+    ConstraintAtom flipped(Expr::Constant(1.0), FlipCmp(op), Expr::Var(X));
+    EXPECT_EQ(fwd.Eval(a).value(), flipped.Eval(a).value());
+  }
+}
+
+TEST(ConditionTest, TrueAndFalse) {
+  EXPECT_TRUE(Condition::True().IsTrue());
+  EXPECT_TRUE(Condition::False().IsKnownFalse());
+  EXPECT_TRUE(Condition::True().Eval(Assignment()).value());
+  EXPECT_FALSE(Condition::False().Eval(Assignment()).value());
+}
+
+TEST(ConditionTest, DeterministicAtomsDecidedEagerly) {
+  Condition c;
+  c.AddAtom(Expr::Constant(1.0) < Expr::Constant(2.0));  // True: elided.
+  EXPECT_TRUE(c.IsTrue());
+  c.AddAtom(Expr::Constant(3.0) < Expr::Constant(2.0));  // False: collapse.
+  EXPECT_TRUE(c.IsKnownFalse());
+}
+
+TEST(ConditionTest, DuplicateAtomsElided) {
+  Condition c;
+  c.AddAtom(Expr::Var(X) > Expr::Constant(1.0));
+  c.AddAtom(Expr::Var(X) > Expr::Constant(1.0));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ConditionTest, AndCombines) {
+  Condition a(Expr::Var(X) > Expr::Constant(1.0));
+  Condition b(Expr::Var(Y) < Expr::Constant(2.0));
+  Condition c = a.And(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(a.And(Condition::False()).IsKnownFalse());
+}
+
+TEST(ConditionTest, EvalConjunction) {
+  Condition c;
+  c.AddAtom(Expr::Var(X) > Expr::Constant(1.0));
+  c.AddAtom(Expr::Var(Y) < Expr::Constant(5.0));
+  Assignment a;
+  a.Set(X, 2.0);
+  a.Set(Y, 3.0);
+  EXPECT_TRUE(c.Eval(a).value());
+  a.Set(Y, 7.0);
+  EXPECT_FALSE(c.Eval(a).value());
+}
+
+TEST(ConditionTest, NegateToDnfIsExclusiveAndExhaustive) {
+  Condition c;
+  c.AddAtom(Expr::Var(X) > Expr::Constant(0.0));
+  c.AddAtom(Expr::Var(Y) > Expr::Constant(0.0));
+  std::vector<Condition> dnf = c.NegateToDnf();
+  ASSERT_EQ(dnf.size(), 2u);
+  // Over the four sign quadrants: exactly the complement, one disjunct at
+  // a time (mutual exclusion).
+  for (double x : {-1.0, 1.0}) {
+    for (double y : {-1.0, 1.0}) {
+      Assignment a;
+      a.Set(X, x);
+      a.Set(Y, y);
+      bool original = c.Eval(a).value();
+      int true_disjuncts = 0;
+      for (const auto& d : dnf) {
+        if (d.Eval(a).value()) ++true_disjuncts;
+      }
+      EXPECT_EQ(true_disjuncts, original ? 0 : 1)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(ConditionTest, NegationOfTrueIsEmptyDisjunction) {
+  EXPECT_TRUE(Condition::True().NegateToDnf().empty());
+}
+
+TEST(ConditionTest, NegationOfFalseIsTrue) {
+  std::vector<Condition> dnf = Condition::False().NegateToDnf();
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_TRUE(dnf[0].IsTrue());
+}
+
+TEST(ConditionTest, EqualsIsOrderInsensitive) {
+  Condition a, b;
+  a.AddAtom(Expr::Var(X) > Expr::Constant(1.0));
+  a.AddAtom(Expr::Var(Y) < Expr::Constant(2.0));
+  b.AddAtom(Expr::Var(Y) < Expr::Constant(2.0));
+  b.AddAtom(Expr::Var(X) > Expr::Constant(1.0));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  (void)Z;
+}
+
+}  // namespace
+}  // namespace pip

@@ -1,0 +1,116 @@
+#include "src/common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace pip {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IntervalTest, DefaultIsAll) {
+  Interval i;
+  EXPECT_TRUE(i.IsAll());
+  EXPECT_FALSE(i.IsEmpty());
+  EXPECT_FALSE(i.IsBounded());
+  EXPECT_TRUE(i.Contains(0.0));
+  EXPECT_TRUE(i.Contains(1e300));
+}
+
+TEST(IntervalTest, EmptyProperties) {
+  Interval e = Interval::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.Contains(0.0));
+  EXPECT_EQ(e.Width(), 0.0);
+}
+
+TEST(IntervalTest, PointAndHalfLines) {
+  EXPECT_TRUE(Interval::Point(3.0).Contains(3.0));
+  EXPECT_EQ(Interval::Point(3.0).Width(), 0.0);
+  EXPECT_TRUE(Interval::AtLeast(2.0).Contains(1e9));
+  EXPECT_FALSE(Interval::AtLeast(2.0).Contains(1.9));
+  EXPECT_TRUE(Interval::AtMost(2.0).Contains(-1e9));
+  EXPECT_FALSE(Interval::AtMost(2.0).Contains(2.1));
+}
+
+TEST(IntervalTest, Intersect) {
+  Interval a(0, 10), b(5, 20);
+  EXPECT_EQ(a.Intersect(b), Interval(5, 10));
+  EXPECT_TRUE(Interval(0, 1).Intersect(Interval(2, 3)).IsEmpty());
+  EXPECT_EQ(a.Intersect(Interval::All()), a);
+  EXPECT_TRUE(a.Intersect(Interval::Empty()).IsEmpty());
+}
+
+TEST(IntervalTest, Hull) {
+  EXPECT_EQ(Interval(0, 1).Hull(Interval(3, 4)), Interval(0, 4));
+  EXPECT_EQ(Interval::Empty().Hull(Interval(1, 2)), Interval(1, 2));
+}
+
+TEST(IntervalArithmeticTest, Add) {
+  EXPECT_EQ(Add(Interval(1, 2), Interval(10, 20)), Interval(11, 22));
+  EXPECT_EQ(Add(Interval::AtLeast(0), Interval::Point(5)),
+            Interval::AtLeast(5));
+  EXPECT_TRUE(Add(Interval::Empty(), Interval(0, 1)).IsEmpty());
+}
+
+TEST(IntervalArithmeticTest, SubAndNeg) {
+  EXPECT_EQ(Sub(Interval(5, 7), Interval(1, 2)), Interval(3, 6));
+  EXPECT_EQ(Neg(Interval(1, 2)), Interval(-2, -1));
+  EXPECT_EQ(Neg(Interval::AtLeast(3)), Interval::AtMost(-3));
+}
+
+TEST(IntervalArithmeticTest, MulSigns) {
+  EXPECT_EQ(Mul(Interval(2, 3), Interval(4, 5)), Interval(8, 15));
+  EXPECT_EQ(Mul(Interval(-3, -2), Interval(4, 5)), Interval(-15, -8));
+  EXPECT_EQ(Mul(Interval(-2, 3), Interval(4, 5)), Interval(-10, 15));
+  EXPECT_EQ(Mul(Interval(-2, 3), Interval(-5, 4)), Interval(-15, 12));
+}
+
+TEST(IntervalArithmeticTest, MulZeroTimesUnboundedWidens) {
+  // 0 * inf is indeterminate: result must stay sound (widen to All).
+  Interval z(0, 0);
+  EXPECT_TRUE(Mul(z, Interval::All()).IsAll());
+  EXPECT_TRUE(Mul(Interval(-1, 1), Interval::AtLeast(0)).IsAll());
+}
+
+TEST(IntervalArithmeticTest, DivByStrictlyPositive) {
+  EXPECT_EQ(Div(Interval(4, 8), Interval(2, 4)), Interval(1, 4));
+}
+
+TEST(IntervalArithmeticTest, DivByIntervalContainingZeroWidens) {
+  EXPECT_TRUE(Div(Interval(1, 2), Interval(-1, 1)).IsAll());
+}
+
+TEST(IntervalArithmeticTest, PowEvenOdd) {
+  EXPECT_EQ(Pow(Interval(-2, 3), 2), Interval(0, 9));
+  EXPECT_EQ(Pow(Interval(2, 3), 2), Interval(4, 9));
+  EXPECT_EQ(Pow(Interval(-2, 3), 3), Interval(-8, 27));
+  EXPECT_EQ(Pow(Interval(-3, -2), 2), Interval(4, 9));
+  EXPECT_EQ(Pow(Interval(5, 7), 0), Interval::Point(1.0));
+}
+
+TEST(IntervalArithmeticTest, SoundnessUnderRandomSampling) {
+  // Property: for random intervals and random points inside them, the
+  // arithmetic result contains the pointwise result.
+  uint64_t state = 42;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / (1ULL << 53) * 20.0 - 10.0;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    double a1 = next(), a2 = next(), b1 = next(), b2 = next();
+    Interval a(std::min(a1, a2), std::max(a1, a2));
+    Interval b(std::min(b1, b2), std::max(b1, b2));
+    double x = a.lo + (a.hi - a.lo) * 0.37;
+    double y = b.lo + (b.hi - b.lo) * 0.61;
+    EXPECT_TRUE(Add(a, b).Contains(x + y));
+    EXPECT_TRUE(Sub(a, b).Contains(x - y));
+    EXPECT_TRUE(Mul(a, b).Contains(x * y));
+    if (!b.Contains(0.0)) EXPECT_TRUE(Div(a, b).Contains(x / y));
+    EXPECT_TRUE(Pow(a, 2).Contains(x * x));
+    EXPECT_TRUE(Pow(a, 3).Contains(x * x * x));
+  }
+  (void)kInf;
+}
+
+}  // namespace
+}  // namespace pip

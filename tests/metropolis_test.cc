@@ -1,0 +1,133 @@
+#include "src/sampling/metropolis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/running_stats.h"
+#include "src/common/special_math.h"
+
+namespace pip {
+namespace {
+
+class MetropolisTest : public ::testing::Test {
+ protected:
+  VariablePool pool_{99};
+
+  ConsistencyResult Check(const Condition& c) {
+    return CheckConsistency(c, pool_);
+  }
+};
+
+TEST_F(MetropolisTest, CanHandleRequiresPdf) {
+  VarRef n = pool_.Create("Normal", {0.0, 1.0}).value();
+  VarRef mv =
+      pool_.Create("MVNormal", {2.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0}).value();
+  EXPECT_TRUE(MetropolisSampler::CanHandle(pool_, {n}));
+  // Multivariate components are excluded (no joint PDF exposed).
+  EXPECT_FALSE(MetropolisSampler::CanHandle(pool_, {mv}));
+}
+
+TEST_F(MetropolisTest, InitFailsOnUnreachableRegion) {
+  VarRef u = pool_.Create("Uniform", {0.0, 1.0}).value();
+  std::vector<ConstraintAtom> atoms = {
+      ConstraintAtom(Expr::Var(u), CmpOp::kGt, Expr::Constant(2.0))};
+  MetropolisOptions opts;
+  opts.start_point_attempts = 200;
+  MetropolisSampler sampler(&pool_, {u}, atoms, ConsistencyResult{}, 1, opts);
+  EXPECT_EQ(sampler.Init().code(), StatusCode::kInconsistent);
+}
+
+TEST_F(MetropolisTest, NextSampleRequiresInit) {
+  VarRef n = pool_.Create("Normal", {0.0, 1.0}).value();
+  MetropolisSampler sampler(&pool_, {n}, {}, ConsistencyResult{}, 1);
+  Assignment a;
+  EXPECT_EQ(sampler.NextSample(&a).code(), StatusCode::kInternal);
+}
+
+TEST_F(MetropolisTest, SamplesRespectConstraints) {
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  VarRef y = pool_.Create("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) - Expr::Var(y) > Expr::Constant(3.0));
+  std::vector<ConstraintAtom> atoms(c.atoms().begin(), c.atoms().end());
+  MetropolisSampler sampler(&pool_, {x, y}, atoms, Check(c), 7);
+  ASSERT_TRUE(sampler.Init().ok());
+  for (int i = 0; i < 500; ++i) {
+    Assignment a;
+    ASSERT_TRUE(sampler.NextSample(&a).ok());
+    EXPECT_GT(*a.Get(x) - *a.Get(y), 3.0);
+  }
+}
+
+TEST_F(MetropolisTest, ChainTargetsTruncatedDistribution) {
+  // One-dimensional truncated normal: the chain's long-run mean must match
+  // the closed form mu + sigma * phi(a)/Q(a).
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) > Expr::Constant(1.5));
+  std::vector<ConstraintAtom> atoms(c.atoms().begin(), c.atoms().end());
+  MetropolisOptions opts;
+  opts.burn_in = 2000;
+  opts.steps_per_sample = 5;
+  MetropolisSampler sampler(&pool_, {x}, atoms, Check(c), 3, opts);
+  ASSERT_TRUE(sampler.Init().ok());
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    Assignment a;
+    ASSERT_TRUE(sampler.NextSample(&a).ok());
+    stats.Add(*a.Get(x));
+  }
+  double expected = NormalPdf(1.5) / (1.0 - NormalCdf(1.5));
+  EXPECT_NEAR(stats.mean(), 1.5 + (expected - 1.5), 0.05);
+  EXPECT_NEAR(stats.mean(), expected, 0.05);
+}
+
+TEST_F(MetropolisTest, DeterministicGivenChainKey) {
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) > Expr::Constant(1.0));
+  std::vector<ConstraintAtom> atoms(c.atoms().begin(), c.atoms().end());
+  auto run = [&](uint64_t key) {
+    MetropolisSampler sampler(&pool_, {x}, atoms, Check(c), key);
+    PIP_CHECK(sampler.Init().ok());
+    std::vector<double> values;
+    for (int i = 0; i < 20; ++i) {
+      Assignment a;
+      PIP_CHECK(sampler.NextSample(&a).ok());
+      values.push_back(*a.Get(x));
+    }
+    return values;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(MetropolisTest, StepsTakenAccumulates) {
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  MetropolisOptions opts;
+  opts.burn_in = 100;
+  opts.steps_per_sample = 10;
+  MetropolisSampler sampler(&pool_, {x}, {}, ConsistencyResult{}, 1, opts);
+  ASSERT_TRUE(sampler.Init().ok());
+  Assignment a;
+  ASSERT_TRUE(sampler.NextSample(&a).ok());
+  EXPECT_EQ(sampler.steps_taken(), 110u);
+}
+
+TEST_F(MetropolisTest, BoundedVariableStaysInSupport) {
+  // Uniform variable with a sub-interval constraint: chain must respect
+  // both support and constraint.
+  VarRef u = pool_.Create("Uniform", {0.0, 1.0}).value();
+  Condition c;
+  c.AddAtom(Expr::Var(u) > Expr::Constant(0.8));
+  std::vector<ConstraintAtom> atoms(c.atoms().begin(), c.atoms().end());
+  MetropolisSampler sampler(&pool_, {u}, atoms, Check(c), 11);
+  ASSERT_TRUE(sampler.Init().ok());
+  for (int i = 0; i < 300; ++i) {
+    Assignment a;
+    ASSERT_TRUE(sampler.NextSample(&a).ok());
+    EXPECT_GT(*a.Get(u), 0.8);
+    EXPECT_LE(*a.Get(u), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pip

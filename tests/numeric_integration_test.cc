@@ -1,0 +1,208 @@
+/// \file numeric_integration_test.cc
+/// \brief The exact quadrature path of the expectation operator: when the
+/// target depends on one univariate variable with PDF+CDF and its
+/// constraints reduce to an interval, E[g(X) | a<=X<=b] is computed by
+/// adaptive Simpson (continuous) or an exact lattice sum (discrete) —
+/// "sidestepping" sampling entirely (paper §III-A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/special_math.h"
+#include "src/sampling/expectation.h"
+
+namespace pip {
+namespace {
+
+class NumericIntegrationTest : public ::testing::Test {
+ protected:
+  VariablePool pool_{12321};
+
+  ExpectationResult Expect(const ExprPtr& e, const Condition& c,
+                           bool prob = true) {
+    SamplingEngine engine(&pool_);
+    auto r = engine.Expectation(e, c, prob);
+    PIP_CHECK(r.ok());
+    return r.value();
+  }
+};
+
+TEST_F(NumericIntegrationTest, TruncatedNormalMeanExact) {
+  VarRef y = pool_.Create("Normal", {5.0, 10.0}).value();
+  Condition c;
+  c.AddAtom(Expr::Var(y) > Expr::Constant(-3.0));
+  c.AddAtom(Expr::Var(y) < Expr::Constant(2.0));
+  ExpectationResult r = Expect(Expr::Var(y), c);
+  // Closed form: mu + sigma*(phi(a)-phi(b))/(Phi(b)-Phi(a)).
+  double alpha = (-3.0 - 5.0) / 10.0, beta = (2.0 - 5.0) / 10.0;
+  double z = NormalCdf(beta) - NormalCdf(alpha);
+  double exact = 5.0 + 10.0 * (NormalPdf(alpha) - NormalPdf(beta)) / z;
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.samples_used, 0u);
+  EXPECT_NEAR(r.expectation, exact, 1e-9);
+  EXPECT_NEAR(r.probability, z, 1e-12);
+}
+
+TEST_F(NumericIntegrationTest, PolynomialOfVariableIntegrates) {
+  // E[X^2] for X ~ Normal(0, 1) is 1; E[3X^2 + 2X + 7] = 10.
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  ExprPtr g = Expr::Constant(3.0) * Expr::Var(x) * Expr::Var(x) +
+              Expr::Constant(2.0) * Expr::Var(x) + Expr::Constant(7.0);
+  ExpectationResult r = Expect(g, Condition::True(), false);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.expectation, 10.0, 1e-7);
+}
+
+TEST_F(NumericIntegrationTest, ExponentialTailMeanExact) {
+  // Memorylessness: E[X | X > t] = t + 1/rate.
+  VarRef x = pool_.Create("Exponential", {0.5}).value();
+  Condition c(Expr::Var(x) > Expr::Constant(3.0));
+  ExpectationResult r = Expect(Expr::Var(x), c);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.expectation, 3.0 + 2.0, 1e-7);
+  EXPECT_NEAR(r.probability, std::exp(-0.5 * 3.0), 1e-10);
+}
+
+TEST_F(NumericIntegrationTest, UniformSubIntervalExact) {
+  VarRef u = pool_.Create("Uniform", {0.0, 10.0}).value();
+  Condition c;
+  c.AddAtom(Expr::Var(u) > Expr::Constant(2.0));
+  c.AddAtom(Expr::Var(u) < Expr::Constant(6.0));
+  ExpectationResult r = Expect(Expr::Var(u), c);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.expectation, 4.0, 1e-10);
+  EXPECT_NEAR(r.probability, 0.4, 1e-12);
+}
+
+TEST_F(NumericIntegrationTest, DiscreteLatticeSumExact) {
+  // E[Poisson(4) | X >= 7] by exact tail summation.
+  VarRef p = pool_.Create("Poisson", {4.0}).value();
+  Condition c(Expr::Var(p) >= Expr::Constant(7.0));
+  ExpectationResult r = Expect(Expr::Var(p), c);
+  EXPECT_TRUE(r.exact);
+  double numerator = 0.0, mass = 0.0;
+  for (int k = 7; k < 200; ++k) {
+    double pmf = std::exp(PoissonLogPmf(4.0, k));
+    numerator += k * pmf;
+    mass += pmf;
+  }
+  EXPECT_NEAR(r.expectation, numerator / mass, 1e-9);
+  EXPECT_NEAR(r.probability, mass, 1e-9);
+}
+
+TEST_F(NumericIntegrationTest, DiscreteStrictnessRespected) {
+  // E[X | X > 3] vs E[X | X >= 3] must differ on the lattice.
+  VarRef p = pool_.Create("Poisson", {3.0}).value();
+  ExpectationResult gt =
+      Expect(Expr::Var(p), Condition(Expr::Var(p) > Expr::Constant(3.0)));
+  ExpectationResult ge =
+      Expect(Expr::Var(p), Condition(Expr::Var(p) >= Expr::Constant(3.0)));
+  EXPECT_TRUE(gt.exact);
+  EXPECT_TRUE(ge.exact);
+  EXPECT_GT(gt.expectation, ge.expectation);
+  EXPECT_GE(gt.expectation, 4.0);
+  EXPECT_GE(ge.expectation, 3.0);
+}
+
+TEST_F(NumericIntegrationTest, DiscreteDisequalityExcluded) {
+  // A Bernoulli conditioned on X != 0 is the point mass at 1.
+  VarRef b = pool_.Create("Bernoulli", {0.25}).value();
+  ExpectationResult r =
+      Expect(Expr::Var(b), Condition(Expr::Var(b) != Expr::Constant(0.0)));
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.expectation, 1.0, 1e-12);
+}
+
+TEST_F(NumericIntegrationTest, GammaAndLognormalMeansExact) {
+  VarRef g = pool_.Create("Gamma", {3.0, 2.0}).value();
+  ExpectationResult rg = Expect(Expr::Var(g), Condition::True(), false);
+  EXPECT_TRUE(rg.exact);
+  EXPECT_NEAR(rg.expectation, 6.0, 1e-5);
+
+  VarRef ln = pool_.Create("Lognormal", {0.0, 0.5}).value();
+  ExpectationResult rl = Expect(Expr::Var(ln), Condition::True(), false);
+  EXPECT_TRUE(rl.exact);
+  EXPECT_NEAR(rl.expectation, std::exp(0.125), 1e-6);
+}
+
+TEST_F(NumericIntegrationTest, FunctionsOfVariableIntegrate) {
+  // E[exp(X)] for X ~ Normal(0,1) = e^{1/2} (the lognormal mean).
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  ExpectationResult r = Expect(Expr::Func(FuncKind::kExp, Expr::Var(x)),
+                               Condition::True(), false);
+  EXPECT_TRUE(r.exact);
+  EXPECT_NEAR(r.expectation, std::exp(0.5), 1e-6);
+}
+
+TEST_F(NumericIntegrationTest, MultiVariableTargetsFallBackToSampling) {
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  VarRef y = pool_.Create("Normal", {0.0, 1.0}).value();
+  SamplingOptions opts;
+  opts.fixed_samples = 5000;
+  SamplingEngine engine(&pool_, opts);
+  auto r = engine
+               .Expectation(Expr::Var(x) + Expr::Var(y), Condition::True(),
+                            false)
+               .value();
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.samples_used, 5000u);
+}
+
+TEST_F(NumericIntegrationTest, TwoVariableAtomFallsBackToSampling) {
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  VarRef y = pool_.Create("Normal", {0.0, 1.0}).value();
+  SamplingOptions opts;
+  opts.fixed_samples = 5000;
+  SamplingEngine engine(&pool_, opts);
+  Condition c(Expr::Var(x) > Expr::Var(y));
+  auto r = engine.Expectation(Expr::Var(x), c, false).value();
+  EXPECT_FALSE(r.exact);
+  EXPECT_GT(r.samples_used, 0u);
+}
+
+TEST_F(NumericIntegrationTest, DivisionByVariableFallsBackGracefully) {
+  // 1/X over Normal(0,1) has a singularity at 0: the integrand errors and
+  // the engine silently reverts to sampling (which also struggles, but
+  // must not crash or return a bogus "exact" result).
+  VarRef x = pool_.Create("Normal", {5.0, 0.5}).value();
+  Condition c(Expr::Var(x) > Expr::Constant(4.0));
+  ExpectationResult r =
+      Expect(Expr::Constant(1.0) / Expr::Var(x), c, false);
+  // Away from zero this is integrable: expect ~1/5.
+  EXPECT_NEAR(r.expectation, 0.2, 0.01);
+}
+
+TEST_F(NumericIntegrationTest, MatchesSamplingEstimate) {
+  // Cross-check: quadrature and Monte Carlo agree on an awkward integrand.
+  VarRef x = pool_.Create("Gamma", {2.0, 1.5}).value();
+  Condition c;
+  c.AddAtom(Expr::Var(x) > Expr::Constant(1.0));
+  c.AddAtom(Expr::Var(x) < Expr::Constant(6.0));
+  ExprPtr g = Expr::Func(FuncKind::kLog, Expr::Var(x)) * Expr::Var(x);
+
+  ExpectationResult exact = Expect(g, c, false);
+  EXPECT_TRUE(exact.exact);
+
+  SamplingOptions opts;
+  opts.fixed_samples = 60000;
+  opts.use_numeric_integration = false;
+  SamplingEngine engine(&pool_, opts);
+  auto sampled = engine.Expectation(g, c, false).value();
+  EXPECT_NEAR(sampled.expectation, exact.expectation,
+              0.02 * std::fabs(exact.expectation));
+}
+
+TEST_F(NumericIntegrationTest, ToggleRestoresSampling) {
+  VarRef x = pool_.Create("Normal", {0.0, 1.0}).value();
+  SamplingOptions opts;
+  opts.fixed_samples = 100;
+  opts.use_numeric_integration = false;
+  SamplingEngine engine(&pool_, opts);
+  auto r = engine.Expectation(Expr::Var(x), Condition::True(), false).value();
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.samples_used, 100u);
+}
+
+}  // namespace
+}  // namespace pip

@@ -1,0 +1,138 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pip {
+namespace {
+
+TEST(RandomStreamTest, DeterministicReplay) {
+  RandomStream a(1, 2, 3, 4);
+  RandomStream b(1, 2, 3, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextBits(), b.NextBits());
+  }
+}
+
+TEST(RandomStreamTest, DifferentCoordinatesDiffer) {
+  // Any single-coordinate change must produce a different stream.
+  uint64_t base = RandomStream(1, 2, 3, 4).NextBits();
+  EXPECT_NE(base, RandomStream(9, 2, 3, 4).NextBits());
+  EXPECT_NE(base, RandomStream(1, 9, 3, 4).NextBits());
+  EXPECT_NE(base, RandomStream(1, 2, 9, 4).NextBits());
+  EXPECT_NE(base, RandomStream(1, 2, 3, 9).NextBits());
+}
+
+TEST(RandomStreamTest, UniformInUnitInterval) {
+  RandomStream s(7, 1, 0, 0);
+  for (int i = 0; i < 10000; ++i) {
+    double u = s.NextUniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStreamTest, OpenUniformNeverZero) {
+  RandomStream s(7, 1, 0, 0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(s.NextOpenUniform(), 0.0);
+  }
+}
+
+TEST(RandomStreamTest, UniformMeanNearHalf) {
+  RandomStream s(11, 3, 0, 5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += s.NextUniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RandomStreamTest, GaussianMoments) {
+  RandomStream s(13, 5, 0, 0);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = s.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RandomStreamTest, BoundedStaysInRange) {
+  RandomStream s(17, 0, 0, 0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = s.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All values hit in 1000 draws.
+}
+
+TEST(MixBitsTest, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  uint64_t a = MixBits(1, 2, 3, 4);
+  uint64_t b = MixBits(1, 2, 3, 5);
+  int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.NextBits(), b.NextBits());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextBits(), b.NextBits());
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.NextUniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng r(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(7);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(8);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = r.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace pip

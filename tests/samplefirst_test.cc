@@ -1,0 +1,247 @@
+#include "src/samplefirst/sf_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/samplefirst/sf_table.h"
+
+namespace pip {
+namespace samplefirst {
+namespace {
+
+using CE = ColExpr;
+
+Table MakeParams() {
+  Table t(Schema({"key", "mu", "sigma"}));
+  PIP_CHECK(t.Append({Value(int64_t{0}), Value(10.0), Value(1.0)}).ok());
+  PIP_CHECK(t.Append({Value(int64_t{1}), Value(20.0), Value(2.0)}).ok());
+  return t;
+}
+
+TEST(SFTableTest, FromTableLifts) {
+  SFTable t = SFTable::FromTable(MakeParams(), 128);
+  EXPECT_EQ(t.num_tuples(), 2u);
+  EXPECT_EQ(t.num_worlds(), 128u);
+  for (size_t w = 0; w < 128; ++w) {
+    EXPECT_TRUE(t.tuple(0).PresentIn(w));
+  }
+  EXPECT_EQ(t.tuple(0).PresenceCount(), 128u);
+}
+
+TEST(SFTableTest, PresenceBitmapTailMasked) {
+  SFTable t = SFTable::FromTable(MakeParams(), 70);  // Not a multiple of 64.
+  EXPECT_EQ(t.tuple(0).PresenceCount(), 70u);
+}
+
+TEST(SFTableTest, SetAbsentClearsBit) {
+  SFTable t = SFTable::FromTable(MakeParams(), 64);
+  SFTuple tuple = t.tuple(0);
+  tuple.SetAbsent(17);
+  EXPECT_FALSE(tuple.PresentIn(17));
+  EXPECT_TRUE(tuple.PresentIn(16));
+  EXPECT_EQ(tuple.PresenceCount(), 63u);
+}
+
+TEST(SFTableTest, ParametrizeColumnDrawsFromDistribution) {
+  SFTable base = SFTable::FromTable(MakeParams(), 20000);
+  SFTable with_x =
+      ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 7).value();
+  ASSERT_EQ(with_x.schema().size(), 4u);
+  const auto& arr = std::get<std::vector<double>>(with_x.tuple(0).cells[3]);
+  ASSERT_EQ(arr.size(), 20000u);
+  double mean = 0;
+  for (double v : arr) mean += v;
+  mean /= arr.size();
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  // Second tuple has its own parameters.
+  const auto& arr2 = std::get<std::vector<double>>(with_x.tuple(1).cells[3]);
+  double mean2 = 0;
+  for (double v : arr2) mean2 += v;
+  mean2 /= arr2.size();
+  EXPECT_NEAR(mean2, 20.0, 0.1);
+}
+
+TEST(SFTableTest, ParametrizeIsDeterministicGivenSeed) {
+  SFTable base = SFTable::FromTable(MakeParams(), 100);
+  SFTable a = ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 7).value();
+  SFTable b = ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 7).value();
+  SFTable c = ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 8).value();
+  EXPECT_EQ(std::get<std::vector<double>>(a.tuple(0).cells[3]),
+            std::get<std::vector<double>>(b.tuple(0).cells[3]));
+  EXPECT_NE(std::get<std::vector<double>>(a.tuple(0).cells[3]),
+            std::get<std::vector<double>>(c.tuple(0).cells[3]));
+}
+
+TEST(SFTableTest, ParametrizeRejectsInvalidParams) {
+  Table params(Schema({"lo"}));
+  PIP_CHECK(params.Append({Value(100.0)}).ok());
+  SFTable base = SFTable::FromTable(params, 100);
+  // lo == hi is invalid for Uniform: validation propagates as Status.
+  EXPECT_FALSE(ParametrizeColumn(base, "w", "Uniform", {"lo", "lo"}, 0).ok());
+}
+
+TEST(SFTableTest, ParametrizeWithStochasticParamsChainsModels) {
+  // A sampled column feeding a downstream distribution (per-world
+  // parameters) — the chained-model case of MCDB's VG functions. Location
+  // mu ~ Uniform(0, 10) feeds X ~ Normal(mu, 0.1): E[X] = 5 and
+  // Var[X] ~ Var[mu] = 100/12 (the chain inherits the parameter spread).
+  Table params(Schema({"lo", "hi", "sigma"}));
+  PIP_CHECK(params.Append({Value(0.0), Value(10.0), Value(0.1)}).ok());
+  SFTable base = SFTable::FromTable(params, 40000);
+  SFTable with_mu =
+      ParametrizeColumn(base, "mu", "Uniform", {"lo", "hi"}, 5).value();
+  SFTable with_x =
+      ParametrizeColumn(with_mu, "x", "Normal", {"mu", "sigma"}, 6).value();
+  const auto& mu = std::get<std::vector<double>>(with_x.tuple(0).cells[3]);
+  const auto& x = std::get<std::vector<double>>(with_x.tuple(0).cells[4]);
+  double mean = 0, var = 0, track = 0;
+  for (size_t w = 0; w < x.size(); ++w) {
+    mean += x[w];
+    track += std::fabs(x[w] - mu[w]);
+  }
+  mean /= x.size();
+  for (double v : x) var += (v - mean) * (v - mean);
+  var /= x.size();
+  track /= x.size();
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 100.0 / 12.0, 0.3);
+  // Each world's x hugs its own world's mu (sigma = 0.1 << spread of mu).
+  EXPECT_LT(track, 0.15);
+}
+
+TEST(SFOpsTest, EvalColExprMixesConstantsAndArrays) {
+  SFTable base = SFTable::FromTable(MakeParams(), 50);
+  SFTable t = ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 3).value();
+  auto expr = CE::Column("x") - CE::Column("mu");
+  for (size_t w = 0; w < 5; ++w) {
+    double direct = std::get<std::vector<double>>(t.tuple(0).cells[3])[w];
+    Value v = EvalColExpr(*expr, t, t.tuple(0), w).value();
+    EXPECT_NEAR(v.double_value(), direct - 10.0, 1e-12);
+  }
+}
+
+TEST(SFOpsTest, EmbedRejected) {
+  SFTable base = SFTable::FromTable(MakeParams(), 4);
+  auto expr = CE::Embed(Expr::Var(VarRef{1, 0}));
+  EXPECT_FALSE(EvalColExpr(*expr, base, base.tuple(0), 0).ok());
+}
+
+TEST(SFOpsTest, FilterDeterministicDropsTuples) {
+  SFTable base = SFTable::FromTable(MakeParams(), 16);
+  SFTable out =
+      Filter(base, ColPredicate{CE::Column("mu") > CE::Literal(15.0)}).value();
+  ASSERT_EQ(out.num_tuples(), 1u);
+  EXPECT_EQ(std::get<Value>(out.tuple(0).cells[0]), Value(int64_t{1}));
+}
+
+TEST(SFOpsTest, FilterStochasticClearsWorldBits) {
+  SFTable base = SFTable::FromTable(MakeParams(), 20000);
+  SFTable t = ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 3).value();
+  SFTable out =
+      Filter(t, ColPredicate{CE::Column("x") > CE::Column("mu")}).value();
+  // About half the worlds survive per tuple.
+  for (const auto& tuple : out.tuples()) {
+    double frac = static_cast<double>(tuple.PresenceCount()) / 20000.0;
+    EXPECT_NEAR(frac, 0.5, 0.02);
+  }
+}
+
+TEST(SFOpsTest, MapKeepsDeterministicCellsConstant) {
+  SFTable base = SFTable::FromTable(MakeParams(), 8);
+  SFTable out = Map(base, {{"key", CE::Column("key")},
+                           {"mu2", CE::Column("mu") * CE::Literal(2.0)}})
+                    .value();
+  EXPECT_FALSE(IsStochastic(out.tuple(0).cells[0]));
+  EXPECT_FALSE(IsStochastic(out.tuple(0).cells[1]));
+  EXPECT_EQ(std::get<Value>(out.tuple(0).cells[1]), Value(20.0));
+}
+
+TEST(SFOpsTest, JoinAlignsWorlds) {
+  Table lt(Schema({"k"}));
+  PIP_CHECK(lt.Append({Value(int64_t{1})}).ok());
+  Table rt(Schema({"k2"}));
+  PIP_CHECK(rt.Append({Value(int64_t{1})}).ok());
+  SFTable l = SFTable::FromTable(lt, 64);
+  SFTable r = SFTable::FromTable(rt, 64);
+  // Clear some worlds on each side; the join intersects presence.
+  SFTuple lt0 = l.tuple(0);
+  SFTable l2(l.schema(), 64);
+  lt0.SetAbsent(0);
+  lt0.SetAbsent(1);
+  PIP_CHECK(l2.Append(lt0).ok());
+  SFTuple rt0 = r.tuple(0);
+  SFTable r2(r.schema(), 64);
+  rt0.SetAbsent(1);
+  rt0.SetAbsent(2);
+  PIP_CHECK(r2.Append(rt0).ok());
+  SFTable joined =
+      Join(l2, r2, ColPredicate{CE::Column("k") == CE::Column("k2")}).value();
+  ASSERT_EQ(joined.num_tuples(), 1u);
+  EXPECT_EQ(joined.tuple(0).PresenceCount(), 61u);  // 64 - worlds {0,1,2}.
+}
+
+TEST(SFOpsTest, JoinWorldCountMismatchRejected) {
+  SFTable l(Schema({"a"}), 10), r(Schema({"b"}), 20);
+  EXPECT_FALSE(Join(l, r, {}).ok());
+}
+
+TEST(SFOpsTest, GroupByPartitions) {
+  Table t(Schema({"g", "v"}));
+  PIP_CHECK(t.Append({Value("a"), Value(1.0)}).ok());
+  PIP_CHECK(t.Append({Value("b"), Value(2.0)}).ok());
+  PIP_CHECK(t.Append({Value("a"), Value(3.0)}).ok());
+  SFTable sf = SFTable::FromTable(t, 4);
+  auto groups = GroupBy(sf, {"g"}).value();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].rows.num_tuples(), 2u);
+}
+
+TEST(SFOpsTest, PerWorldAggregates) {
+  Table t(Schema({"v"}));
+  PIP_CHECK(t.Append({Value(3.0)}).ok());
+  PIP_CHECK(t.Append({Value(5.0)}).ok());
+  SFTable sf = SFTable::FromTable(t, 8);
+  auto sums = PerWorldSums(sf, "v").value();
+  ASSERT_EQ(sums.size(), 8u);
+  for (double s : sums) EXPECT_EQ(s, 8.0);
+  auto counts = PerWorldCounts(sf);
+  for (double c : counts) EXPECT_EQ(c, 2.0);
+  auto maxima = PerWorldMax(sf, "v").value();
+  for (double m : maxima) EXPECT_EQ(m, 5.0);
+  EXPECT_EQ(MeanOverWorlds(sums), 8.0);
+}
+
+TEST(SFOpsTest, PerWorldMaxEmptyWorldsGetDefault) {
+  Table t(Schema({"v"}));
+  PIP_CHECK(t.Append({Value(5.0)}).ok());
+  SFTable sf = SFTable::FromTable(t, 4);
+  SFTuple tuple = sf.tuple(0);
+  tuple.SetAbsent(2);
+  SFTable sf2(sf.schema(), 4);
+  PIP_CHECK(sf2.Append(tuple).ok());
+  auto maxima = PerWorldMax(sf2, "v", -1.0).value();
+  EXPECT_EQ(maxima[2], -1.0);
+  EXPECT_EQ(maxima[0], 5.0);
+}
+
+TEST(SFOpsTest, SampleFirstSelectivityPathology) {
+  // The core phenomenon of the paper: after a selective filter, the
+  // number of usable worlds collapses, so downstream estimates rest on
+  // very few samples.
+  Table t(Schema({"mu", "sigma"}));
+  PIP_CHECK(t.Append({Value(0.0), Value(1.0)}).ok());
+  SFTable base = SFTable::FromTable(t, 1000);
+  SFTable sf = ParametrizeColumn(base, "x", "Normal", {"mu", "sigma"}, 11).value();
+  // Keep only worlds where x > 2.3 (P ~ 0.0107).
+  SFTable filtered =
+      Filter(sf, ColPredicate{CE::Column("x") > CE::Literal(2.3)}).value();
+  ASSERT_EQ(filtered.num_tuples(), 1u);
+  size_t kept = filtered.tuple(0).PresenceCount();
+  EXPECT_LT(kept, 40u);  // ~11 expected out of 1000.
+  EXPECT_GT(kept, 0u);
+}
+
+}  // namespace
+}  // namespace samplefirst
+}  // namespace pip

@@ -1,0 +1,241 @@
+#include "src/sql/session.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/special_math.h"
+#include "src/sql/lexer.h"
+
+namespace pip {
+namespace sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesMixedStatement) {
+  auto tokens =
+      Tokenize("SELECT a, b*2 FROM t WHERE x >= 7.5 AND name = 'joe'")
+          .value();
+  // SELECT a , b * 2 FROM t WHERE x >= 7.5 AND name = 'joe' <end>
+  EXPECT_EQ(tokens.size(), 17u);
+  EXPECT_TRUE(tokens[0].Is("SELECT"));
+  EXPECT_EQ(tokens[4].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[5].number, 2.0);
+  EXPECT_EQ(tokens[10].text, ">=");
+  EXPECT_EQ(tokens[15].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[15].text, "joe");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select SeLeCt SELECT").value();
+  for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(tokens[i].Is("SELECT"));
+}
+
+TEST(LexerTest, EscapedQuotes) {
+  auto tokens = Tokenize("'it''s'").value();
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = Tokenize("1.5e-3").value();
+  EXPECT_NEAR(tokens[0].number, 0.0015, 1e-12);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Session: DDL + DML.
+// ---------------------------------------------------------------------------
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  SqlSessionTest() : db_(909), session_(&db_) {
+    SamplingOptions* opts = session_.mutable_options();
+    opts->fixed_samples = 20000;
+  }
+
+  SqlResult Run(const std::string& stmt) {
+    auto r = session_.Execute(stmt);
+    PIP_CHECK_MSG(r.ok(), r.status().ToString());
+    return std::move(r).value();
+  }
+
+  Database db_;
+  Session session_;
+};
+
+TEST_F(SqlSessionTest, CreateInsertSelectRoundTrip) {
+  Run("CREATE TABLE t (a, b)");
+  Run("INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+  SqlResult r = Run("SELECT * FROM t");
+  EXPECT_EQ(r.kind, SqlResult::Kind::kCTable);
+  EXPECT_EQ(r.ctable.num_rows(), 2u);
+}
+
+TEST_F(SqlSessionTest, CreateDuplicateTableFails) {
+  Run("CREATE TABLE t (a)");
+  EXPECT_FALSE(session_.Execute("CREATE TABLE t (a)").ok());
+}
+
+TEST_F(SqlSessionTest, InsertIntoMissingTableFails) {
+  EXPECT_FALSE(session_.Execute("INSERT INTO nope VALUES (1)").ok());
+}
+
+TEST_F(SqlSessionTest, InsertArityMismatchFails) {
+  Run("CREATE TABLE t (a, b)");
+  EXPECT_FALSE(session_.Execute("INSERT INTO t VALUES (1)").ok());
+}
+
+TEST_F(SqlSessionTest, DistributionConstructorAllocatesVariable) {
+  Run("CREATE TABLE m (v)");
+  Run("INSERT INTO m VALUES (Normal(10, 2))");
+  SqlResult r = Run("SELECT * FROM m");
+  ASSERT_EQ(r.ctable.num_rows(), 1u);
+  EXPECT_FALSE(r.ctable.row(0).cells[0]->IsConstant());
+  EXPECT_EQ(db_.pool()->num_variables(), 1u);
+}
+
+TEST_F(SqlSessionTest, UnknownDistributionRejected) {
+  Run("CREATE TABLE m (v)");
+  EXPECT_FALSE(session_.Execute("INSERT INTO m VALUES (Zeta(2))").ok());
+}
+
+TEST_F(SqlSessionTest, DistributionParamsMustBeConstant) {
+  Run("CREATE TABLE m (v)");
+  EXPECT_FALSE(
+      session_.Execute("INSERT INTO m VALUES (Normal(v, 1))").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Session: symbolic SELECT.
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlSessionTest, WhereSplitsDeterministicAndProbabilistic) {
+  Run("CREATE TABLE orders (cust, price)");
+  Run("INSERT INTO orders VALUES ('Joe', Normal(100, 10)), "
+      "('Bob', Normal(250, 20))");
+  SqlResult r =
+      Run("SELECT price FROM orders WHERE cust = 'Joe' AND price > 90");
+  ASSERT_EQ(r.ctable.num_rows(), 1u);           // Bob filtered eagerly.
+  EXPECT_EQ(r.ctable.row(0).condition.size(), 1u);  // price > 90 deferred.
+}
+
+TEST_F(SqlSessionTest, SelectArithmeticTargetsAndAliases) {
+  Run("CREATE TABLE t (a, b)");
+  Run("INSERT INTO t VALUES (3, 4)");
+  SqlResult r = Run("SELECT a + b AS total, a * 2, sqrt(b) FROM t");
+  EXPECT_EQ(r.ctable.schema().name(0), "total");
+  EXPECT_EQ(r.ctable.row(0).cells[0]->value(), Value(7.0));
+  EXPECT_EQ(r.ctable.row(0).cells[1]->value(), Value(6.0));
+  EXPECT_EQ(r.ctable.row(0).cells[2]->value(), Value(2.0));
+}
+
+TEST_F(SqlSessionTest, CrossProductFrom) {
+  Run("CREATE TABLE l (a)");
+  Run("CREATE TABLE r (b)");
+  Run("INSERT INTO l VALUES (1), (2)");
+  Run("INSERT INTO r VALUES (10), (20)");
+  SqlResult res = Run("SELECT a, b FROM l, r WHERE a * 10 = b");
+  EXPECT_EQ(res.ctable.num_rows(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Session: probability-removing operators.
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlSessionTest, ExpectedSumAggregates) {
+  Run("CREATE TABLE m (v)");
+  Run("INSERT INTO m VALUES (Normal(10, 2)), (Normal(30, 5)), (2)");
+  SqlResult r = Run("SELECT expected_sum(v) FROM m");
+  ASSERT_EQ(r.kind, SqlResult::Kind::kTable);
+  ASSERT_EQ(r.table.num_rows(), 1u);
+  EXPECT_NEAR(r.table.row(0)[0].double_value(), 42.0, 0.5);
+}
+
+TEST_F(SqlSessionTest, SelectiveExpectedSumUsesConditions) {
+  // The paper's headline query shape, end to end through SQL.
+  Run("CREATE TABLE orders (cust, price, days)");
+  Run("INSERT INTO orders VALUES ('Joe', Normal(100, 10), Normal(5, 1))");
+  SqlResult r =
+      Run("SELECT expected_sum(price) FROM orders WHERE days >= 7");
+  double expected = 100.0 * (1.0 - NormalCdf(2.0));
+  EXPECT_NEAR(r.table.row(0)[0].double_value(), expected, 0.2);
+}
+
+TEST_F(SqlSessionTest, ExpectedCountStar) {
+  Run("CREATE TABLE m (v)");
+  Run("INSERT INTO m VALUES (Uniform(0, 1)), (Uniform(0, 1))");
+  SqlResult r = Run("SELECT expected_count(*) FROM m WHERE v < 0.25");
+  EXPECT_NEAR(r.table.row(0)[0].double_value(), 0.5, 1e-9);  // Exact CDF.
+}
+
+TEST_F(SqlSessionTest, MultipleAggregatesInOneSelect) {
+  Run("CREATE TABLE m (v)");
+  Run("INSERT INTO m VALUES (Uniform(0, 10)), (4)");
+  SqlResult r = Run(
+      "SELECT expected_sum(v) AS s, expected_count(*) AS n, "
+      "expected_avg(v) AS a FROM m");
+  EXPECT_EQ(r.table.schema().columns(),
+            (std::vector<std::string>{"s", "n", "a"}));
+  EXPECT_NEAR(r.table.row(0)[0].double_value(), 9.0, 0.2);
+  EXPECT_NEAR(r.table.row(0)[1].double_value(), 2.0, 1e-9);
+  EXPECT_NEAR(r.table.row(0)[2].double_value(), 4.5, 0.1);
+}
+
+TEST_F(SqlSessionTest, ExpectedMaxAggregate) {
+  Run("CREATE TABLE m (v)");
+  Run("INSERT INTO m VALUES (5), (9)");
+  SqlResult r = Run("SELECT expected_max(v) FROM m");
+  EXPECT_NEAR(r.table.row(0)[0].double_value(), 9.0, 1e-9);
+}
+
+TEST_F(SqlSessionTest, PerRowExpectationAndConf) {
+  Run("CREATE TABLE m (tag, v)");
+  Run("INSERT INTO m VALUES ('a', Normal(10, 1)), ('b', Normal(20, 1))");
+  SqlResult r =
+      Run("SELECT tag, expectation(v) AS ev, conf() FROM m WHERE v > 0");
+  ASSERT_EQ(r.kind, SqlResult::Kind::kTable);
+  ASSERT_EQ(r.table.num_rows(), 2u);
+  EXPECT_NEAR(r.table.Get(0, "E[ev]").value().double_value(), 10.0, 0.2);
+  EXPECT_NEAR(r.table.Get(1, "E[ev]").value().double_value(), 20.0, 0.2);
+  EXPECT_NEAR(r.table.Get(0, "conf").value().double_value(), 1.0, 1e-6);
+}
+
+TEST_F(SqlSessionTest, MixingTableWideAndPerRowRejected) {
+  Run("CREATE TABLE m (v)");
+  Run("INSERT INTO m VALUES (1)");
+  EXPECT_FALSE(
+      session_.Execute("SELECT expected_sum(v), conf() FROM m").ok());
+  EXPECT_FALSE(session_.Execute("SELECT expected_sum(v), v FROM m").ok());
+}
+
+TEST_F(SqlSessionTest, ParseErrorsAreInvalidArgument) {
+  for (const char* bad :
+       {"SELECT", "SELECT FROM t", "CREATE TABLE", "INSERT INTO",
+        "SELECT a FROM t WHERE", "DELETE FROM t", "SELECT a FROM t extra"}) {
+    auto r = session_.Execute(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+TEST_F(SqlSessionTest, TrailingSemicolonAccepted) {
+  Run("CREATE TABLE t (a);");
+  Run("INSERT INTO t VALUES (1);");
+  SqlResult r = Run("SELECT * FROM t;");
+  EXPECT_EQ(r.ctable.num_rows(), 1u);
+}
+
+TEST_F(SqlSessionTest, ResultToStringRenders) {
+  Run("CREATE TABLE t (a)");
+  Run("INSERT INTO t VALUES (Exponential(2))");
+  EXPECT_FALSE(Run("SELECT * FROM t").ToString().empty());
+  EXPECT_FALSE(Run("SELECT expected_sum(a) FROM t").ToString().empty());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace pip

@@ -1,0 +1,227 @@
+/// \file stress_test.cc
+/// \brief Randomized cross-validation of the full sampling stack.
+///
+/// For randomly generated conditions over randomly parameterized
+/// variables, the engine's Confidence/Expectation — whatever strategy mix
+/// it picks (exact CDF, windows, rejection, quadrature) — must agree with
+/// brute-force Monte Carlo over unconstrained joint draws. Also verifies
+/// the consistency checker's soundness: whenever brute force finds a
+/// satisfying sample, the checker must not have declared the condition
+/// inconsistent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/running_stats.h"
+#include "src/constraints/consistency.h"
+#include "src/sampling/expectation.h"
+
+namespace pip {
+namespace {
+
+class RandomConditionStressTest : public ::testing::TestWithParam<int> {};
+
+struct RandomModel {
+  VariablePool pool;
+  std::vector<VarRef> vars;
+  Condition condition;
+  ExprPtr target;
+
+  explicit RandomModel(uint64_t seed) : pool(seed) {}
+};
+
+/// Builds a random model: 2-4 variables from assorted families, 1-3 atoms
+/// mixing var-vs-const and var-vs-var comparisons, and a random
+/// low-degree target expression. Constructed so P[condition] is rarely
+/// microscopic (atoms threshold near distribution quantiles).
+std::unique_ptr<RandomModel> MakeModel(uint64_t seed) {
+  auto model = std::make_unique<RandomModel>(seed * 7919 + 13);
+  Rng rng(seed);
+  size_t num_vars = 2 + rng.NextBounded(3);
+  for (size_t i = 0; i < num_vars; ++i) {
+    switch (rng.NextBounded(5)) {
+      case 0:
+        model->vars.push_back(
+            model->pool
+                .Create("Normal", {rng.NextUniform(-5, 5),
+                                   rng.NextUniform(0.5, 3.0)})
+                .value());
+        break;
+      case 1:
+        model->vars.push_back(
+            model->pool
+                .Create("Uniform",
+                        {0.0, rng.NextUniform(1.0, 10.0)})
+                .value());
+        break;
+      case 2:
+        model->vars.push_back(
+            model->pool.Create("Exponential", {rng.NextUniform(0.2, 2.0)})
+                .value());
+        break;
+      case 3:
+        model->vars.push_back(
+            model->pool.Create("Poisson", {rng.NextUniform(1.0, 8.0)})
+                .value());
+        break;
+      default:
+        model->vars.push_back(
+            model->pool
+                .Create("Gamma", {rng.NextUniform(1.0, 4.0),
+                                  rng.NextUniform(0.5, 2.0)})
+                .value());
+        break;
+    }
+  }
+
+  size_t num_atoms = 1 + rng.NextBounded(3);
+  for (size_t i = 0; i < num_atoms; ++i) {
+    VarRef v = model->vars[rng.NextBounded(model->vars.size())];
+    CmpOp op = rng.NextBounded(2) == 0 ? CmpOp::kGt : CmpOp::kLt;
+    if (rng.NextBounded(3) == 0 && model->vars.size() >= 2) {
+      // var-vs-var atom (forces joint sampling of a group).
+      VarRef w = model->vars[rng.NextBounded(model->vars.size())];
+      if (!(w == v)) {
+        model->condition.AddAtom(ConstraintAtom(
+            Expr::Var(v), op, Expr::Var(w)));
+        continue;
+      }
+    }
+    // var-vs-const near a moderate quantile so the condition stays
+    // reasonably likely.
+    double q = rng.NextUniform(0.15, 0.85);
+    double threshold = model->pool.HasInverseCdf(v)
+                           ? model->pool.InverseCdf(v, q).value()
+                           : rng.NextUniform(-2, 6);
+    model->condition.AddAtom(
+        ConstraintAtom(Expr::Var(v), op, Expr::Constant(threshold)));
+  }
+
+  // Target: sum/product of up to two variables plus a constant.
+  VarRef t1 = model->vars[rng.NextBounded(model->vars.size())];
+  VarRef t2 = model->vars[rng.NextBounded(model->vars.size())];
+  if (rng.NextBounded(2) == 0) {
+    model->target = Expr::Var(t1) + Expr::Var(t2) + Expr::Constant(1.0);
+  } else {
+    model->target =
+        Expr::Var(t1) * Expr::Constant(rng.NextUniform(0.5, 2.0)) +
+        Expr::Constant(rng.NextUniform(-3, 3));
+  }
+  return model;
+}
+
+/// Brute-force estimate of (P[cond], E[target | cond]) by joint sampling.
+void BruteForce(const RandomModel& model, size_t n, double* prob,
+                double* conditional_mean, bool* found_satisfying) {
+  RunningStats accepted;
+  size_t hits = 0;
+  std::vector<double> joint;
+  Assignment world;
+  for (size_t i = 0; i < n; ++i) {
+    world.Clear();
+    for (const VarRef& v : model.vars) {
+      PIP_CHECK(model.pool
+                    .GenerateJoint(v.var_id, /*sample_index=*/i,
+                                   /*attempt=*/0xbf0fceULL, &joint)
+                    .ok());
+      world.Set(v, joint[0]);
+    }
+    auto sat = model.condition.Eval(world);
+    PIP_CHECK(sat.ok());
+    if (!sat.value()) continue;
+    ++hits;
+    auto value = model.target->EvalDouble(world);
+    PIP_CHECK(value.ok());
+    accepted.Add(value.value());
+  }
+  *prob = static_cast<double>(hits) / static_cast<double>(n);
+  *conditional_mean = accepted.count() > 0 ? accepted.mean() : 0.0;
+  *found_satisfying = hits > 0;
+}
+
+TEST_P(RandomConditionStressTest, EngineAgreesWithBruteForce) {
+  auto model = MakeModel(static_cast<uint64_t>(GetParam()));
+  double bf_prob = 0, bf_mean = 0;
+  bool satisfiable = false;
+  const size_t kBruteSamples = 120000;
+  BruteForce(*model, kBruteSamples, &bf_prob, &bf_mean, &satisfiable);
+
+  // Consistency soundness: a witnessed-satisfiable condition must never be
+  // declared inconsistent.
+  ConsistencyResult consistency =
+      CheckConsistency(model->condition, model->pool);
+  if (satisfiable) {
+    EXPECT_FALSE(consistency.inconsistent()) << model->condition.ToString();
+  }
+
+  SamplingOptions opts;
+  opts.fixed_samples = 60000;
+  SamplingEngine engine(&model->pool, opts);
+  auto r = engine.Expectation(model->target, model->condition, true);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  if (bf_prob < 0.005) return;  // Too rare to cross-validate reliably.
+  double prob_tol = 5.0 * std::sqrt(bf_prob / kBruteSamples) + 0.01;
+  EXPECT_NEAR(r.value().probability, bf_prob, prob_tol)
+      << model->condition.ToString();
+  double scale = std::max(1.0, std::fabs(bf_mean));
+  EXPECT_NEAR(r.value().expectation, bf_mean, 0.08 * scale)
+      << "target " << model->target->ToString() << " given "
+      << model->condition.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConditionStressTest,
+                         ::testing::Range(1, 41));
+
+// ---------------------------------------------------------------------------
+// RunningStats unit coverage.
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatsTest, MomentsOfKnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);        // Population variance.
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(std::isinf(s.standard_error()));
+  s.Add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableAroundLargeOffset) {
+  // Welford must not cancel catastrophically: variance of {1e9, 1e9+1,
+  // 1e9+2} is 2/3.
+  RunningStats s;
+  s.Add(1e9);
+  s.Add(1e9 + 1);
+  s.Add(1e9 + 2);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(NormalizedRmsErrorTest, KnownValues) {
+  EXPECT_NEAR(NormalizedRmsError({12.0, 8.0}, 10.0), 0.2, 1e-12);
+  EXPECT_EQ(NormalizedRmsError({}, 10.0), 0.0);
+  // Zero truth: un-normalized RMS.
+  EXPECT_NEAR(NormalizedRmsError({1.0, -1.0}, 0.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pip

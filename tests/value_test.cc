@@ -1,0 +1,124 @@
+#include "src/types/value.h"
+
+#include <gtest/gtest.h>
+
+#include "src/types/schema.h"
+#include "src/types/table.h"
+
+namespace pip {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_EQ(Value(2.5).AsDouble().value(), 2.5);
+  EXPECT_EQ(Value(int64_t{7}).AsDouble().value(), 7.0);
+  EXPECT_EQ(Value(true).AsDouble().value(), 1.0);
+  EXPECT_FALSE(Value("x").AsDouble().ok());
+  EXPECT_FALSE(Value().AsDouble().ok());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.0), Value(int64_t{3}));
+}
+
+TEST(ValueTest, CrossTypeEqualValuesHashEqual) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, NullEqualsNull) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, DifferentTypesOrderByTag) {
+  // Null < bool < numerics < string, and the order is total.
+  EXPECT_LT(Value::Null(), Value(true));
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema s({"a", "b", "c"});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.IndexOf("b").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("z").ok());
+  EXPECT_TRUE(s.Contains("c"));
+  EXPECT_FALSE(s.Contains("z"));
+}
+
+TEST(SchemaTest, ConcatDisambiguatesCollisions) {
+  Schema left({"id", "x"});
+  Schema right({"id", "y"});
+  Schema joined = left.Concat(right, "r");
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_EQ(joined.name(0), "id");
+  EXPECT_EQ(joined.name(2), "r.id");
+  EXPECT_EQ(joined.name(3), "y");
+}
+
+TEST(SchemaTest, ConcatWithoutPrefixUsesCounter) {
+  Schema left({"id"});
+  Schema right({"id"});
+  Schema joined = left.Concat(right);
+  EXPECT_EQ(joined.name(1), "id_2");
+}
+
+TEST(SchemaTest, SelectSubset) {
+  Schema s({"a", "b", "c"});
+  Schema sub = s.Select({2, 0});
+  EXPECT_EQ(sub.columns(), (std::vector<std::string>{"c", "a"}));
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(Schema({"name", "score"}));
+  ASSERT_TRUE(t.Append({Value("joe"), Value(1.5)}).ok());
+  ASSERT_TRUE(t.Append({Value("bob"), Value(2.5)}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Get(0, "name").value(), Value("joe"));
+  EXPECT_EQ(t.Get(1, "score").value(), Value(2.5));
+}
+
+TEST(TableTest, AppendArityMismatchRejected) {
+  Table t(Schema({"a", "b"}));
+  EXPECT_EQ(t.Append({Value(1.0)}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, GetOutOfRange) {
+  Table t(Schema({"a"}));
+  EXPECT_EQ(t.Get(0, "a").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, ToStringRendersRows) {
+  Table t(Schema({"a"}));
+  ASSERT_TRUE(t.Append({Value(int64_t{1})}).ok());
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pip
