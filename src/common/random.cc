@@ -81,6 +81,11 @@ double Rng::NextUniform() {
   return static_cast<double>(NextBits() >> 11) * 0x1.0p-53;
 }
 
+double Rng::NextOpenUniform() {
+  double u = NextUniform();
+  return u > 0.0 ? u : 0x1.0p-53;
+}
+
 double Rng::NextUniform(double lo, double hi) {
   return lo + (hi - lo) * NextUniform();
 }
@@ -108,17 +113,14 @@ int64_t Rng::NextInt(int64_t lo, int64_t hi) {
 }
 
 double Rng::NextGaussian() {
-  double u1 = NextUniform();
-  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double u1 = NextOpenUniform();
   double u2 = NextUniform();
   return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
 }
 
 double Rng::NextExponential(double rate) {
   PIP_CHECK(rate > 0);
-  double u = NextUniform();
-  if (u <= 0.0) u = 0x1.0p-53;
-  return -std::log(u) / rate;
+  return -std::log(NextOpenUniform()) / rate;
 }
 
 }  // namespace pip

@@ -16,6 +16,16 @@
 
 namespace pip {
 
+/// Pins a unit-interval draw strictly inside (0, 1): quantile functions
+/// return -/+inf at the absolute endpoints on unbounded supports, so
+/// samplers mapping uniforms through inverse CDFs must never hand them
+/// exactly 0 or 1 (either directly or by rounding of a window affine map).
+inline double ClampUnitOpen(double u) {
+  if (u <= 0.0) return 0x1.0p-53;
+  if (u >= 1.0) return 1.0 - 0x1.0p-53;
+  return u;
+}
+
 /// \brief Stateless mixing function at the core of the counter-based RNG.
 ///
 /// A strengthened splitmix64 finalizer applied to a 4-word input. Passes
@@ -84,6 +94,8 @@ class Rng {
   uint64_t NextBits();
   /// Uniform in [0,1).
   double NextUniform();
+  /// Uniform in the open interval (0, 1); never returns exactly 0.
+  double NextOpenUniform();
   /// Uniform in [lo, hi).
   double NextUniform(double lo, double hi);
   /// Uniform integer in [0, n). Requires n > 0.

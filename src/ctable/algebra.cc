@@ -233,25 +233,45 @@ StatusOr<std::vector<CTableGroup>> GroupBy(
 StatusOr<CTable> ExplodeDiscrete(const CTable& in, const VariablePool& pool,
                                  size_t max_expansion) {
   CTable out(in.schema());
+  // Domains depend only on the variable, so materialize each at most once
+  // for the whole table. The DomainSize probe rejects over-budget domains
+  // first — for builtins with closed-form sizes (e.g. a 1e6-rank Zipf)
+  // without ever building the vector; plugins on the default DomainSize
+  // still materialize once to measure. An unusable entry (empty values)
+  // marks "leave this variable symbolic".
+  std::unordered_map<uint64_t, std::vector<double>> domain_cache;
+  auto domain_for =
+      [&](uint64_t var_id) -> const std::vector<double>& {
+    auto it = domain_cache.find(var_id);
+    if (it != domain_cache.end()) return it->second;
+    std::vector<double> values;
+    auto info = pool.Info(var_id);
+    if (info.ok() && info.value()->num_components == 1) {
+      auto size = info.value()->dist->DomainSize(info.value()->params);
+      if (size.ok() && size.value() > 0 && size.value() <= max_expansion) {
+        auto domain = info.value()->dist->DomainValues(info.value()->params);
+        if (domain.ok()) values = std::move(domain).value();
+      }
+    }
+    return domain_cache.emplace(var_id, std::move(values)).first->second;
+  };
   for (const auto& row : in.rows()) {
     // Collect the univariate finite-discrete variables this row mentions.
     std::vector<VarRef> discrete;
-    std::vector<std::vector<double>> domains;
+    std::vector<const std::vector<double>*> domains;
     size_t total = 1;
     bool explodable = true;
     for (const VarRef& v : row.Variables()) {
       if (!pool.IsFiniteDiscrete(v.var_id)) continue;
-      auto info = pool.Info(v.var_id);
-      if (!info.ok() || info.value()->num_components != 1) continue;
-      auto domain = info.value()->dist->DomainValues(info.value()->params);
-      if (!domain.ok()) continue;
-      if (total > max_expansion / std::max<size_t>(domain.value().size(), 1)) {
+      const std::vector<double>& domain = domain_for(v.var_id);
+      if (domain.empty()) continue;
+      if (total > max_expansion / domain.size()) {
         explodable = false;
         break;
       }
-      total *= domain.value().size();
+      total *= domain.size();
       discrete.push_back(v);
-      domains.push_back(std::move(domain).value());
+      domains.push_back(&domain);
     }
     if (!explodable || discrete.empty()) {
       PIP_RETURN_IF_ERROR(out.Append(row));
@@ -262,7 +282,7 @@ StatusOr<CTable> ExplodeDiscrete(const CTable& in, const VariablePool& pool,
     while (true) {
       Assignment valuation;
       for (size_t i = 0; i < discrete.size(); ++i) {
-        valuation.Set(discrete[i], domains[i][cursor[i]]);
+        valuation.Set(discrete[i], (*domains[i])[cursor[i]]);
       }
       CTableRow exploded;
       exploded.cells.reserve(row.cells.size());
@@ -281,7 +301,7 @@ StatusOr<CTable> ExplodeDiscrete(const CTable& in, const VariablePool& pool,
         for (size_t i = 0; i < discrete.size(); ++i) {
           cond.AddAtom(ConstraintAtom(
               Expr::Var(discrete[i]), CmpOp::kEq,
-              Expr::Constant(domains[i][cursor[i]])));
+              Expr::Constant((*domains[i])[cursor[i]])));
         }
         exploded.condition = std::move(cond);
         PIP_RETURN_IF_ERROR(out.Append(std::move(exploded)));
@@ -289,7 +309,7 @@ StatusOr<CTable> ExplodeDiscrete(const CTable& in, const VariablePool& pool,
       // Advance the cursor.
       size_t d = 0;
       while (d < cursor.size()) {
-        if (++cursor[d] < domains[d].size()) break;
+        if (++cursor[d] < domains[d]->size()) break;
         cursor[d] = 0;
         ++d;
       }

@@ -1,0 +1,15 @@
+#include "src/dist/builtins.h"
+
+namespace pip {
+
+Status RegisterBuiltinDistributions(DistributionRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("null registry");
+  }
+  PIP_RETURN_IF_ERROR(dist_internal::RegisterContinuousBuiltins(registry));
+  PIP_RETURN_IF_ERROR(dist_internal::RegisterDiscreteBuiltins(registry));
+  PIP_RETURN_IF_ERROR(dist_internal::RegisterMultivariateBuiltins(registry));
+  return Status::OK();
+}
+
+}  // namespace pip

@@ -1,0 +1,59 @@
+/// \file builtins.h
+/// \brief Internal wiring of the builtin distribution library.
+///
+/// Each family file registers its classes through one entry point;
+/// RegisterBuiltinDistributions (registry.h) composes them. Client code
+/// never includes this header — plugins are resolved by name through the
+/// registry, keeping the engine independent of the concrete classes.
+
+#ifndef PIP_DIST_BUILTINS_H_
+#define PIP_DIST_BUILTINS_H_
+
+#include <cmath>
+
+#include "src/dist/distribution.h"
+#include "src/dist/registry.h"
+
+namespace pip {
+namespace dist_internal {
+
+Status RegisterContinuousBuiltins(DistributionRegistry* registry);
+Status RegisterDiscreteBuiltins(DistributionRegistry* registry);
+Status RegisterMultivariateBuiltins(DistributionRegistry* registry);
+
+/// Shared parameter-validation helpers.
+inline Status ExpectParamCount(const std::string& name,
+                               const std::vector<double>& params, size_t n) {
+  if (params.size() != n) {
+    return Status::InvalidArgument(
+        name + " expects " + std::to_string(n) + " parameter(s), got " +
+        std::to_string(params.size()));
+  }
+  return Status::OK();
+}
+
+inline Status ExpectFinite(const std::string& name,
+                           const std::vector<double>& params) {
+  for (double p : params) {
+    if (!std::isfinite(p)) {
+      return Status::InvalidArgument(name + " parameters must be finite");
+    }
+  }
+  return Status::OK();
+}
+
+inline Status ExpectPositive(const std::string& name, const char* what,
+                             double value) {
+  if (!(value > 0.0)) {
+    return Status::InvalidArgument(name + ": " + what +
+                                   " must be strictly positive");
+  }
+  return Status::OK();
+}
+
+inline bool IsInteger(double x) { return std::floor(x) == x; }
+
+}  // namespace dist_internal
+}  // namespace pip
+
+#endif  // PIP_DIST_BUILTINS_H_

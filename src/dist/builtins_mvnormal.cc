@@ -1,0 +1,189 @@
+/// \file builtins_mvnormal.cc
+/// \brief Multivariate normal plugin.
+///
+/// The showcase for multi-component variables (paper §III-B: "a
+/// subscript (for multi-variate distributions)"): one VariablePool entry
+/// owns d correlated components, addressed as X[0], X[1], ... by VarRef
+/// subscripts. Parameters are packed flat as
+///   { d, mu_0..mu_{d-1}, cov_00, cov_01, ..., cov_{d-1,d-1} }.
+/// Marginal CDF/PDF/moments use the covariance diagonal; the joint
+/// inverse CDF is intentionally NOT provided — per-component quantile
+/// sampling would silently break cross-component correlations, so the
+/// capability mask steers the engine to joint generation instead.
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/special_math.h"
+#include "src/dist/builtins.h"
+
+namespace pip {
+namespace dist_internal {
+namespace {
+
+/// In-place lower Cholesky factorization; false if the matrix is not
+/// symmetric positive definite (within pivot tolerance).
+bool CholeskyFactor(size_t d, std::vector<double>* m) {
+  std::vector<double>& a = *m;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i * d + j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i * d + k] * a[j * d + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[i * d + i] = std::sqrt(sum);
+      } else {
+        a[i * d + j] = sum / a[j * d + j];
+      }
+    }
+  }
+  // Zero the (unused) upper triangle so L is exactly lower-triangular.
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) a[i * d + j] = 0.0;
+  }
+  return true;
+}
+
+class MVNormalDist : public Distribution {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "MVNormal";
+    return n;
+  }
+  DomainKind domain() const override { return DomainKind::kContinuous; }
+  uint32_t Capabilities() const override {
+    return kGenerate | kPdf | kCdf | kMoments;
+  }
+  size_t NumComponents(const std::vector<double>& params) const override {
+    return params.empty() ? 1 : static_cast<size_t>(params[0]);
+  }
+  Status ValidateParams(const std::vector<double>& p) const override {
+    if (p.empty() || !IsInteger(p[0]) || p[0] < 1.0 || p[0] > 4096.0) {
+      return Status::InvalidArgument(
+          name() + ": first parameter must be the dimension (integer >= 1)");
+    }
+    size_t d = static_cast<size_t>(p[0]);
+    PIP_RETURN_IF_ERROR(ExpectParamCount(name(), p, 1 + d + d * d));
+    PIP_RETURN_IF_ERROR(ExpectFinite(name(), p));
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        if (std::fabs(Cov(p, d, i, j) - Cov(p, d, j, i)) > 1e-9) {
+          return Status::InvalidArgument(name() +
+                                         ": covariance must be symmetric");
+        }
+      }
+    }
+    std::vector<double> chol(p.begin() + 1 + d, p.end());
+    if (!CholeskyFactor(d, &chol)) {
+      return Status::InvalidArgument(
+          name() + ": covariance must be positive definite");
+    }
+    return Status::OK();
+  }
+  Status GenerateJoint(const std::vector<double>& p, const SampleContext& ctx,
+                       std::vector<double>* out) const override {
+    size_t d = static_cast<size_t>(p[0]);
+    PIP_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<double>> factor,
+                         Factor(p, d));
+    const std::vector<double>& chol = *factor;
+    RandomStream stream = ctx.StreamFor(0);
+    std::vector<double> z(d);
+    for (size_t i = 0; i < d; ++i) z[i] = stream.NextGaussian();
+    out->assign(d, 0.0);
+    for (size_t i = 0; i < d; ++i) {
+      double acc = Mu(p, i);
+      for (size_t k = 0; k <= i; ++k) acc += chol[i * d + k] * z[k];
+      (*out)[i] = acc;
+    }
+    return Status::OK();
+  }
+  StatusOr<double> Pdf(const std::vector<double>& p, uint32_t component,
+                       double x) const override {
+    PIP_RETURN_IF_ERROR(CheckComponent(p, component));
+    size_t d = static_cast<size_t>(p[0]);
+    double sigma = std::sqrt(Cov(p, d, component, component));
+    return NormalPdf((x - Mu(p, component)) / sigma) / sigma;
+  }
+  StatusOr<double> Cdf(const std::vector<double>& p, uint32_t component,
+                       double x) const override {
+    PIP_RETURN_IF_ERROR(CheckComponent(p, component));
+    size_t d = static_cast<size_t>(p[0]);
+    double sigma = std::sqrt(Cov(p, d, component, component));
+    return NormalCdf((x - Mu(p, component)) / sigma);
+  }
+  StatusOr<double> Mean(const std::vector<double>& p,
+                        uint32_t component) const override {
+    PIP_RETURN_IF_ERROR(CheckComponent(p, component));
+    return Mu(p, component);
+  }
+  StatusOr<double> Variance(const std::vector<double>& p,
+                            uint32_t component) const override {
+    PIP_RETURN_IF_ERROR(CheckComponent(p, component));
+    size_t d = static_cast<size_t>(p[0]);
+    return Cov(p, d, component, component);
+  }
+
+ private:
+  static double Mu(const std::vector<double>& p, size_t i) {
+    return p[1 + i];
+  }
+  static double Cov(const std::vector<double>& p, size_t d, size_t i,
+                    size_t j) {
+    return p[1 + d + i * d + j];
+  }
+  Status CheckComponent(const std::vector<double>& p,
+                        uint32_t component) const {
+    if (component >= NumComponents(p)) {
+      return Status::OutOfRange(name() + ": component " +
+                                std::to_string(component) +
+                                " out of range");
+    }
+    return Status::OK();
+  }
+
+  /// Cholesky factor of the covariance, memoized per parameter vector:
+  /// GenerateJoint sits in the engine's innermost rejection loop, and
+  /// refactoring an O(d^3) matrix per draw would dominate sampling time.
+  ///
+  /// The cache is thread-local (no lock on the draw path — the pool
+  /// documents reads as lock-free and a future sampler thread pool must
+  /// not serialize here) and keyed by the address of the pool-owned
+  /// params vector, validated by a full equality compare against the
+  /// stored copy so a recycled allocation can never alias a stale
+  /// factor. The compare is O(d^2) contiguous reads versus O(d^3)
+  /// refactorization.
+  StatusOr<std::shared_ptr<const std::vector<double>>> Factor(
+      const std::vector<double>& p, size_t d) const {
+    struct CacheEntry {
+      std::vector<double> params;
+      std::shared_ptr<const std::vector<double>> factor;
+    };
+    static thread_local std::unordered_map<const double*, CacheEntry> cache;
+    auto it = cache.find(p.data());
+    if (it != cache.end() && it->second.params == p) {
+      return it->second.factor;
+    }
+    auto chol =
+        std::make_shared<std::vector<double>>(p.begin() + 1 + d, p.end());
+    // Validated at creation time; an Internal error here means the pool
+    // invariant was bypassed.
+    if (!CholeskyFactor(d, chol.get())) {
+      return Status::Internal(name() +
+                              ": covariance lost positive definiteness");
+    }
+    std::shared_ptr<const std::vector<double>> factor = std::move(chol);
+    // Bound the memo; distinct covariance matrices per process are few.
+    if (cache.size() >= 256) cache.clear();
+    cache[p.data()] = CacheEntry{p, factor};
+    return factor;
+  }
+};
+
+}  // namespace
+
+Status RegisterMultivariateBuiltins(DistributionRegistry* registry) {
+  return registry->Register(std::make_unique<MVNormalDist>());
+}
+
+}  // namespace dist_internal
+}  // namespace pip

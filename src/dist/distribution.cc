@@ -1,0 +1,61 @@
+#include "src/dist/distribution.h"
+
+namespace pip {
+
+Status Distribution::MissingCapability(const char* what) const {
+  return Status::Unimplemented("distribution '" + name() +
+                               "' does not provide " + what);
+}
+
+StatusOr<double> Distribution::Pdf(const std::vector<double>& params,
+                                   uint32_t component, double x) const {
+  (void)params;
+  (void)component;
+  (void)x;
+  return MissingCapability("a PDF");
+}
+
+StatusOr<double> Distribution::Cdf(const std::vector<double>& params,
+                                   uint32_t component, double x) const {
+  (void)params;
+  (void)component;
+  (void)x;
+  return MissingCapability("a CDF");
+}
+
+StatusOr<double> Distribution::InverseCdf(const std::vector<double>& params,
+                                          uint32_t component,
+                                          double p) const {
+  (void)params;
+  (void)component;
+  (void)p;
+  return MissingCapability("an inverse CDF");
+}
+
+StatusOr<double> Distribution::Mean(const std::vector<double>& params,
+                                    uint32_t component) const {
+  (void)params;
+  (void)component;
+  return MissingCapability("closed-form moments");
+}
+
+StatusOr<double> Distribution::Variance(const std::vector<double>& params,
+                                        uint32_t component) const {
+  (void)params;
+  (void)component;
+  return MissingCapability("closed-form moments");
+}
+
+StatusOr<std::vector<double>> Distribution::DomainValues(
+    const std::vector<double>& params) const {
+  (void)params;
+  return MissingCapability("finite domain enumeration");
+}
+
+StatusOr<size_t> Distribution::DomainSize(
+    const std::vector<double>& params) const {
+  PIP_ASSIGN_OR_RETURN(std::vector<double> values, DomainValues(params));
+  return values.size();
+}
+
+}  // namespace pip

@@ -1,0 +1,74 @@
+#include "src/dist/registry.h"
+
+#include <algorithm>
+
+#include "src/dist/distribution.h"
+
+namespace pip {
+
+DistributionRegistry::DistributionRegistry() = default;
+DistributionRegistry::~DistributionRegistry() = default;
+
+DistributionRegistry& DistributionRegistry::Global() {
+  // Leaked singleton: plugin pointers handed out by Lookup() must stay
+  // valid through static destruction of client code.
+  static DistributionRegistry* global = [] {
+    auto* r = new DistributionRegistry();
+    PIP_CHECK_MSG(RegisterBuiltinDistributions(r).ok(),
+                  "builtin distribution registration failed");
+    return r;
+  }();
+  return *global;
+}
+
+Status DistributionRegistry::Register(std::unique_ptr<Distribution> dist) {
+  if (dist == nullptr) {
+    return Status::InvalidArgument("cannot register a null distribution");
+  }
+  // Copy, not reference: a failed emplace below destroys *dist, and with
+  // it any name storage the plugin owns.
+  const std::string name = dist->name();
+  if (name.empty()) {
+    return Status::InvalidArgument("distribution name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = dists_.emplace(name, std::move(dist));
+  if (!inserted) {
+    return Status::AlreadyExists("distribution '" + name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+StatusOr<const Distribution*> DistributionRegistry::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dists_.find(name);
+  if (it == dists_.end()) {
+    return Status::NotFound("no distribution named '" + name + "'");
+  }
+  return const_cast<const Distribution*>(it->second.get());
+}
+
+bool DistributionRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dists_.count(name) > 0;
+}
+
+std::vector<std::string> DistributionRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(dists_.size());
+    for (const auto& [name, _] : dists_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t DistributionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dists_.size();
+}
+
+}  // namespace pip

@@ -1,0 +1,68 @@
+/// \file registry.h
+/// \brief Name -> distribution-plugin resolution.
+///
+/// The registry is how SQL `INSERT ... VALUES (Normal(120, 20))` and
+/// `Database::CreateVariable("Normal", {...})` find their implementation:
+/// every distribution class — builtin or user-supplied — registers one
+/// immutable instance under its class name. `Global()` is the process-wide
+/// instance, pre-seeded with the standard library; isolated registries can
+/// be constructed for tests or sandboxed sessions.
+
+#ifndef PIP_DIST_REGISTRY_H_
+#define PIP_DIST_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pip {
+
+class Distribution;
+
+/// \brief A thread-safe map from class name to distribution plugin.
+class DistributionRegistry {
+ public:
+  DistributionRegistry();
+  ~DistributionRegistry();
+  DistributionRegistry(const DistributionRegistry&) = delete;
+  DistributionRegistry& operator=(const DistributionRegistry&) = delete;
+
+  /// The process-wide registry, with builtins already registered. Safe to
+  /// call (and to Register against) from any thread at any time.
+  static DistributionRegistry& Global();
+
+  /// Registers a plugin under `dist->name()`. AlreadyExists if the name is
+  /// taken: re-registration is rejected rather than silently shadowing,
+  /// so a plugin cannot hijack e.g. "Normal" for existing variables.
+  Status Register(std::unique_ptr<Distribution> dist);
+
+  /// Resolves a class name. NotFound lists the name; the pointer stays
+  /// valid for the registry's lifetime (process lifetime for Global()).
+  StatusOr<const Distribution*> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered class names, sorted (catalog introspection / SHOW).
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Distribution>> dists_;
+};
+
+/// Registers the standard library (Normal, Uniform, Exponential, Poisson,
+/// Bernoulli, DiscreteUniform, Categorical, Gamma, Lognormal, MVNormal,
+/// Beta, StudentT, Zipf, UniformSum, Tukey) into `registry`. Idempotence
+/// is the caller's concern: registering into a non-empty registry that
+/// already holds one of these names returns the first error.
+Status RegisterBuiltinDistributions(DistributionRegistry* registry);
+
+}  // namespace pip
+
+#endif  // PIP_DIST_REGISTRY_H_

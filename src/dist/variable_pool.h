@@ -1,0 +1,118 @@
+/// \file variable_pool.h
+/// \brief Per-database store of random variables (paper §III-B, §V-A).
+///
+/// A PIP random variable is (id, subscript, distribution class,
+/// parameters). The pool owns the last two — the expression layer only
+/// carries VarRef identities — and is the single point where the engine
+/// resolves identity into behavior: capability queries, CDF evaluation,
+/// and deterministic generation all go through here.
+///
+/// Determinism contract: the value of (variable, component) in sample
+/// `sample_index` is a pure function of (pool seed, var_id, component,
+/// sample_index, attempt). No sampler state exists, so "only the seed
+/// value need be stored" to replay any world, and distinct
+/// `sample_offset`s give statistically fresh but replayable runs.
+
+#ifndef PIP_DIST_VARIABLE_POOL_H_
+#define PIP_DIST_VARIABLE_POOL_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/interval.h"
+#include "src/common/status.h"
+#include "src/dist/distribution.h"
+#include "src/expr/variable.h"
+
+namespace pip {
+
+/// \brief Everything the pool knows about one variable.
+struct VariableInfo {
+  std::string class_name;        ///< Registry name, e.g. "Normal".
+  const Distribution* dist = nullptr;  ///< Resolved plugin (never null).
+  std::vector<double> params;    ///< Validated constructor parameters.
+  uint32_t num_components = 1;   ///< Joint dimensionality.
+};
+
+/// \brief Allocates VarRefs and mediates all distribution access.
+///
+/// Thread model: `Create` is internally synchronized; all read/query
+/// methods are lock-free and may run concurrently with each other, but
+/// not with `Create` (create variables before fanning out samplers).
+class VariablePool {
+ public:
+  static constexpr uint64_t kDefaultSeed = 0x1cde2010ULL;
+
+  /// `registry` resolves class names; defaults to the process registry,
+  /// so runtime-registered plugins are visible to every pool.
+  explicit VariablePool(uint64_t seed = kDefaultSeed,
+                        const DistributionRegistry* registry = nullptr)
+      : seed_(seed),
+        registry_(registry != nullptr ? registry
+                                      : &DistributionRegistry::Global()) {}
+
+  uint64_t seed() const { return seed_; }
+  size_t num_variables() const { return vars_.size(); }
+
+  /// CREATE_VARIABLE: resolves `class_name`, validates `params`, and
+  /// allocates a fresh variable. The returned VarRef addresses component
+  /// 0; use Component() for the other subscripts of multivariate classes.
+  StatusOr<VarRef> Create(const std::string& class_name,
+                          std::vector<double> params);
+
+  /// Metadata lookup; NotFound for ids this pool never allocated.
+  StatusOr<const VariableInfo*> Info(uint64_t var_id) const;
+
+  /// The VarRef of another component of `base`'s variable; OutOfRange
+  /// beyond the class's dimensionality.
+  StatusOr<VarRef> Component(VarRef base, uint32_t component) const;
+
+  // -- Capability queries (false for unknown variables). -----------------
+  bool HasPdf(VarRef v) const;
+  bool HasCdf(VarRef v) const;
+  bool HasInverseCdf(VarRef v) const;
+  /// Univariate, integer-lattice, finite-domain — i.e. possible-world
+  /// enumerable (ExplodeDiscrete).
+  bool IsFiniteDiscrete(uint64_t var_id) const;
+
+  // -- Distribution access, parameterized per variable. ------------------
+  StatusOr<double> Pdf(VarRef v, double x) const;
+  StatusOr<double> Cdf(VarRef v, double x) const;
+  StatusOr<double> InverseCdf(VarRef v, double p) const;
+  StatusOr<double> Mean(VarRef v) const;
+  StatusOr<double> Variance(VarRef v) const;
+  /// Support interval of the marginal; All() for unknown variables (a
+  /// sound over-approximation, so bound seeding stays safe).
+  Interval Support(VarRef v) const;
+
+  /// Deterministic draw of one component. Same (sample_index, attempt)
+  /// always yields the same value — the c-table replay guarantee.
+  StatusOr<double> Generate(VarRef v, uint64_t sample_index,
+                            uint64_t attempt = 0) const;
+
+  /// Deterministic joint draw of every component of `var_id` into `*out`
+  /// (resized to the class's dimensionality).
+  Status GenerateJoint(uint64_t var_id, uint64_t sample_index,
+                       uint64_t attempt, std::vector<double>* out) const;
+
+ private:
+  const VariableInfo* InfoOrNull(uint64_t var_id) const {
+    return var_id >= 1 && var_id <= vars_.size() ? &vars_[var_id - 1]
+                                                 : nullptr;
+  }
+  /// Info plus component bounds check, as a Status for the Or-returning
+  /// accessors.
+  StatusOr<const VariableInfo*> CheckedInfo(VarRef v) const;
+
+  uint64_t seed_;
+  const DistributionRegistry* registry_;
+  std::mutex create_mu_;
+  /// Deque keeps VariableInfo pointers stable across Create calls.
+  std::deque<VariableInfo> vars_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_DIST_VARIABLE_POOL_H_

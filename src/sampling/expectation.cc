@@ -37,6 +37,14 @@ bool AsVarConst(const ConstraintAtom& atom, VarRef* var, CmpOp* op,
   return true;
 }
 
+/// One quantile-window draw, strictly inside the open interval (0, 1):
+/// rounding to an absolute endpoint would push an unbounded support's
+/// quantile (InverseCdf(0) = -inf, InverseCdf(1) = +inf) into the sample,
+/// and a one-sided window leaves that endpoint atom-satisfying.
+double WindowDraw(RandomStream* stream, double lo, double hi) {
+  return ClampUnitOpen(lo + (hi - lo) * stream->NextOpenUniform());
+}
+
 /// Recursive adaptive Simpson quadrature. `ok` is cleared if the integrand
 /// ever fails to evaluate; the result is then meaningless and the caller
 /// falls back to sampling.
@@ -484,9 +492,8 @@ StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
       if (plan->cdf_constrained[i]) {
         SampleContext ctx{pool_->seed(), v.var_id, sample_index, attempt};
         RandomStream stream = ctx.StreamFor(v.component);
-        double u = plan->window_lo[i] +
-                   (plan->window_hi[i] - plan->window_lo[i]) *
-                       stream.NextUniform();
+        double u =
+            WindowDraw(&stream, plan->window_lo[i], plan->window_hi[i]);
         PIP_ASSIGN_OR_RETURN(double x, pool_->InverseCdf(v, u));
         assignment->Set(v, x);
       } else if (i == 0 || plan->vars[i].var_id != plan->vars[i - 1].var_id) {
@@ -560,9 +567,8 @@ StatusOr<double> SamplingEngine::EstimateGroupProbability(
         SampleContext ctx{pool_->seed(), v.var_id, sample_index,
                           kEstimateMarker};
         RandomStream stream = ctx.StreamFor(v.component);
-        double u = plan->window_lo[i] +
-                   (plan->window_hi[i] - plan->window_lo[i]) *
-                       stream.NextUniform();
+        double u =
+            WindowDraw(&stream, plan->window_lo[i], plan->window_hi[i]);
         PIP_ASSIGN_OR_RETURN(double x, pool_->InverseCdf(v, u));
         a.Set(v, x);
       } else if (i == 0 || plan->vars[i].var_id != plan->vars[i - 1].var_id) {

@@ -86,8 +86,10 @@ Status MetropolisSampler::Init() {
         auto flo = pool_->Cdf(v, b.lo);
         auto fhi = pool_->Cdf(v, b.hi);
         if (flo.ok() && fhi.ok() && fhi.value() > flo.value()) {
-          double u = flo.value() +
-                     (fhi.value() - flo.value()) * rng_.NextUniform();
+          // A -/+inf quantile endpoint only wastes a scan attempt here
+          // (LogDensity filters it), but cheaply avoided all the same.
+          double u = ClampUnitOpen(
+              flo.value() + (fhi.value() - flo.value()) * rng_.NextUniform());
           auto x = pool_->InverseCdf(v, u);
           if (x.ok()) {
             candidate[i] = x.value();
