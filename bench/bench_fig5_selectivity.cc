@@ -13,12 +13,18 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
+#include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/workload/queries.h"
 
 namespace {
 
 using pip::SamplingOptions;
+using pip::bench::AppendBenchRecords;
+using pip::bench::BenchJsonPath;
+using pip::bench::BenchRecord;
+using pip::bench::SmokeMode;
 using pip::workload::GenerateTpch;
 using pip::workload::RunQ4Pip;
 using pip::workload::RunQ4SampleFirst;
@@ -82,27 +88,67 @@ BENCHMARK(BM_Fig5_SampleFirst)
     ->Arg(500)
     ->Unit(benchmark::kMillisecond);
 
-/// Prints the paper-style series (execution time per selectivity).
+/// Prints the paper-style series (execution time per selectivity) and
+/// records it to BENCH_sampling.json. Smoke mode (PIP_BENCH_SMOKE=1)
+/// shrinks the sample budget and skips the low-selectivity Sample-First
+/// arms whose accuracy-matched world counts are CI-hostile.
 void PrintFigure5() {
+  const size_t base_samples = SmokeMode() ? 100 : kBaseSamples;
   std::printf("\n=== Figure 5: time to complete a %zu-sample query, "
               "accounting for selectivity-induced loss of accuracy ===\n",
-              kBaseSamples);
+              base_samples);
   std::printf("%12s %14s %20s %12s\n", "selectivity", "PIP (s)",
               "Sample-First (s)", "SF worlds");
+  std::vector<BenchRecord> records;
   for (double sel : kSelectivities) {
     SamplingOptions opts;
-    opts.fixed_samples = kBaseSamples;
+    opts.fixed_samples = base_samples;
     pip::WallTimer pip_timer;
     auto pip = RunQ4Pip(Data(), sel, 1, opts);
     double pip_seconds = pip_timer.Seconds();
-    size_t worlds = static_cast<size_t>(kBaseSamples / sel);
-    pip::WallTimer sf_timer;
-    auto sf = RunQ4SampleFirst(Data(), sel, worlds, 1);
-    double sf_seconds = sf_timer.Seconds();
-    PIP_CHECK(pip.ok() && sf.ok());
-    std::printf("%12.3f %14.3f %20.3f %12zu\n", sel, pip_seconds, sf_seconds,
-                worlds);
+    PIP_CHECK(pip.ok());
+    BenchRecord pip_record;
+    pip_record.bench = "fig5_selectivity";
+    pip_record.query = "Q4_pip_sel_" + std::to_string(sel);
+    // Resolved worker count, not the raw knob: the artifact is a perf
+    // trajectory, so "0 = hardware concurrency" must not hide the
+    // runner's actual parallelism.
+    pip_record.threads = static_cast<double>(
+        pip::ThreadPool::ResolveThreads(opts.num_threads));
+    pip_record.wall_seconds = pip_seconds;
+    pip_record.samples = static_cast<double>(base_samples);
+    pip_record.samples_per_sec =
+        pip_seconds > 0 ? static_cast<double>(base_samples) / pip_seconds
+                        : 0.0;
+    pip_record.value = pip.value().total;
+    records.push_back(pip_record);
+
+    size_t worlds = static_cast<size_t>(base_samples / sel);
+    bool run_sf = !SmokeMode() || worlds <= 4000;
+    double sf_seconds = 0.0;
+    if (run_sf) {
+      pip::WallTimer sf_timer;
+      auto sf = RunQ4SampleFirst(Data(), sel, worlds, 1);
+      sf_seconds = sf_timer.Seconds();
+      PIP_CHECK(sf.ok());
+      BenchRecord sf_record;
+      sf_record.bench = "fig5_selectivity";
+      sf_record.query = "Q4_sample_first_sel_" + std::to_string(sel);
+      sf_record.threads = 1;  // Sample-First is single-threaded.
+      sf_record.wall_seconds = sf_seconds;
+      sf_record.samples = static_cast<double>(worlds);
+      sf_record.samples_per_sec =
+          sf_seconds > 0 ? static_cast<double>(worlds) / sf_seconds : 0.0;
+      sf_record.value = sf.value().total;
+      records.push_back(sf_record);
+      std::printf("%12.3f %14.3f %20.3f %12zu\n", sel, pip_seconds,
+                  sf_seconds, worlds);
+    } else {
+      std::printf("%12.3f %14.3f %20s %12zu\n", sel, pip_seconds,
+                  "(smoke: skipped)", worlds);
+    }
   }
+  AppendBenchRecords(BenchJsonPath(), records);
   std::printf("Expected shape: PIP flat across selectivities; Sample-First "
               "time grows ~1/selectivity.\n\n");
 }

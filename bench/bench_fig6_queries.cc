@@ -10,14 +10,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
+#include "bench/bench_json.h"
 #include "src/common/timer.h"
 #include "src/workload/queries.h"
 
 namespace {
 
 using pip::SamplingOptions;
+using pip::bench::AppendBenchRecords;
+using pip::bench::BenchJsonPath;
+using pip::bench::BenchRecord;
+using pip::bench::SmokeMode;
 using pip::workload::GenerateTpch;
 using pip::workload::TimedResult;
 using pip::workload::TpchConfig;
@@ -25,6 +32,8 @@ using pip::workload::TpchData;
 
 constexpr size_t kSamples = 1000;
 constexpr double kQ4Selectivity = 0.005;
+
+size_t Samples() { return SmokeMode() ? 200 : kSamples; }
 
 TpchConfig BenchConfig() {
   TpchConfig config;
@@ -131,25 +140,30 @@ void PrintFigure6() {
   };
   std::vector<Row> rows;
 
+  size_t samples = Samples();
+  SamplingOptions opts;
+  opts.fixed_samples = samples;
   {
-    auto pip = pip::workload::RunQ1Pip(Data(), 1, PipOptions());
-    auto sf = pip::workload::RunQ1SampleFirst(Data(), kSamples, 1);
+    auto pip = pip::workload::RunQ1Pip(Data(), 1, opts);
+    auto sf = pip::workload::RunQ1SampleFirst(Data(), samples, 1);
     PIP_CHECK(pip.ok() && sf.ok());
-    rows.push_back({"Q1", pip.value(), sf.value(), kSamples});
+    rows.push_back({"Q1", pip.value(), sf.value(), samples});
   }
   {
-    auto pip = pip::workload::RunQ2Pip(Data(), 2, PipOptions(), kSamples);
-    auto sf = pip::workload::RunQ2SampleFirst(Data(), kSamples, 2);
+    auto pip = pip::workload::RunQ2Pip(Data(), 2, opts, samples);
+    auto sf = pip::workload::RunQ2SampleFirst(Data(), samples, 2);
     PIP_CHECK(pip.ok() && sf.ok());
-    rows.push_back({"Q2", pip.value(), sf.value(), kSamples});
+    rows.push_back({"Q2", pip.value(), sf.value(), samples});
   }
   {
-    auto pip = pip::workload::RunQ3Pip(Data(), 3, PipOptions());
-    auto sf = pip::workload::RunQ3SampleFirst(Data(), 10 * kSamples, 3);
+    auto pip = pip::workload::RunQ3Pip(Data(), 3, opts);
+    auto sf = pip::workload::RunQ3SampleFirst(Data(), 10 * samples, 3);
     PIP_CHECK(pip.ok() && sf.ok());
-    rows.push_back({"Q3", pip.value(), sf.value(), 10 * kSamples});
+    rows.push_back({"Q3", pip.value(), sf.value(), 10 * samples});
   }
-  {
+  if (!SmokeMode()) {
+    // The accuracy-matched Q4 Sample-First run instantiates 200k worlds
+    // (the paper's off-scale bar) — too heavy for a CI smoke pass.
     size_t worlds = static_cast<size_t>(kSamples / kQ4Selectivity);
     auto pip4 = pip::workload::RunQ4Pip(Data(), kQ4Selectivity, 4, PipOptions());
     auto sf4 =
@@ -172,10 +186,107 @@ void PrintFigure6() {
               "minimal); PIP wins ~10x on Q3 and ~100x+ on Q4.\n\n");
 }
 
+/// Runs the PIP side of Q1-Q4 at num_threads in {1, 2, 8} and records
+/// wall times plus result values to BENCH_sampling.json. The engine's
+/// determinism contract makes the values bit-identical across thread
+/// counts — checked here, not assumed.
+void ThreadSweep() {
+  const size_t samples = Samples();
+  const size_t thread_counts[] = {1, 2, 8};
+
+  struct SweepRun {
+    size_t threads;
+    double q_wall[4];
+    double q_value[4];
+    double total_wall = 0.0;
+  };
+  std::vector<SweepRun> runs;
+
+  std::printf("=== Thread sweep: PIP Q1-Q4, fixed_samples=%zu ===\n",
+              samples);
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "threads", "Q1 (s)",
+              "Q2 (s)", "Q3 (s)", "Q4 (s)", "total (s)");
+  for (size_t threads : thread_counts) {
+    SamplingOptions opts;
+    opts.fixed_samples = samples;
+    opts.num_threads = threads;
+    SweepRun run;
+    run.threads = threads;
+
+    pip::WallTimer timer;
+    auto q1 = pip::workload::RunQ1Pip(Data(), 1, opts);
+    run.q_wall[0] = timer.Seconds();
+    timer.Restart();
+    auto q2 = pip::workload::RunQ2Pip(Data(), 2, opts, samples);
+    run.q_wall[1] = timer.Seconds();
+    timer.Restart();
+    auto q3 = pip::workload::RunQ3Pip(Data(), 3, opts);
+    run.q_wall[2] = timer.Seconds();
+    timer.Restart();
+    auto q4 = pip::workload::RunQ4Pip(Data(), kQ4Selectivity, 4, opts);
+    run.q_wall[3] = timer.Seconds();
+    PIP_CHECK(q1.ok() && q2.ok() && q3.ok() && q4.ok());
+    run.q_value[0] = q1.value().value;
+    run.q_value[1] = q2.value().value;
+    run.q_value[2] = q3.value().value;
+    run.q_value[3] = q4.value().total;
+    for (double w : run.q_wall) run.total_wall += w;
+    std::printf("%8zu %10.3f %10.3f %10.3f %10.3f %12.3f\n", threads,
+                run.q_wall[0], run.q_wall[1], run.q_wall[2], run.q_wall[3],
+                run.total_wall);
+    runs.push_back(run);
+  }
+
+  // Determinism gate: every thread count must produce the same bits.
+  // Bit-pattern compare, not ==, so a legitimate bit-identical NaN
+  // (budget collapse) doesn't read as a determinism failure.
+  bool identical = true;
+  for (const auto& run : runs) {
+    for (int q = 0; q < 4; ++q) {
+      identical = identical && std::memcmp(&run.q_value[q],
+                                           &runs[0].q_value[q],
+                                           sizeof(double)) == 0;
+    }
+  }
+  PIP_CHECK_MSG(identical,
+                "thread sweep produced thread-count-dependent results");
+  double speedup = runs.front().total_wall / runs.back().total_wall;
+  std::printf("bit-identical across threads: yes; end-to-end speedup "
+              "%zu->%zu threads: %.2fx\n\n",
+              runs.front().threads, runs.back().threads, speedup);
+
+  const char* names[] = {"Q1_pip", "Q2_pip", "Q3_pip", "Q4_pip"};
+  std::vector<BenchRecord> records;
+  for (const auto& run : runs) {
+    for (int q = 0; q < 4; ++q) {
+      BenchRecord r;
+      r.bench = "fig6_thread_sweep";
+      r.query = names[q];
+      r.threads = static_cast<double>(run.threads);
+      r.wall_seconds = run.q_wall[q];
+      r.samples = static_cast<double>(samples);
+      r.samples_per_sec =
+          run.q_wall[q] > 0 ? static_cast<double>(samples) / run.q_wall[q]
+                            : 0.0;
+      r.value = run.q_value[q];
+      records.push_back(r);
+    }
+    BenchRecord total;
+    total.bench = "fig6_thread_sweep";
+    total.query = "end_to_end";
+    total.threads = static_cast<double>(run.threads);
+    total.wall_seconds = run.total_wall;
+    total.samples = static_cast<double>(samples);
+    records.push_back(total);
+  }
+  AppendBenchRecords(BenchJsonPath(), records);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFigure6();
+  ThreadSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

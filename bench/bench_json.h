@@ -1,0 +1,99 @@
+/// \file bench_json.h
+/// \brief Machine-readable benchmark records (BENCH_sampling.json).
+///
+/// Each bench appends flat records to a JSON array so future PRs have a
+/// perf trajectory to compare against. The file is a plain JSON array of
+/// objects; multiple benches writing to the same path merge by appending
+/// to the array. Override the path with the PIP_BENCH_JSON environment
+/// variable; PIP_BENCH_SMOKE=1 asks benches to shrink their workloads to
+/// CI-smoke size.
+
+#ifndef PIP_BENCH_BENCH_JSON_H_
+#define PIP_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pip {
+namespace bench {
+
+/// One flat benchmark record; unset numeric fields are omitted.
+struct BenchRecord {
+  std::string bench;   ///< e.g. "fig6_thread_sweep"
+  std::string query;   ///< e.g. "Q4_pip"
+  double threads = 0;  ///< num_threads knob (0 = hardware concurrency).
+  double wall_seconds = 0;
+  double samples = 0;          ///< Monte Carlo samples configured.
+  double samples_per_sec = 0;  ///< samples * rows / wall where meaningful.
+  double value = 0;            ///< The query's numeric result (bit-compare).
+};
+
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("PIP_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_sampling.json";
+}
+
+inline bool SmokeMode() {
+  const char* env = std::getenv("PIP_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+inline std::string ToJson(const BenchRecord& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"bench\":\"" << r.bench << "\",\"query\":\"" << r.query
+     << "\",\"threads\":" << r.threads
+     << ",\"wall_seconds\":" << r.wall_seconds << ",\"samples\":" << r.samples
+     << ",\"samples_per_sec\":" << r.samples_per_sec
+     << ",\"value\":" << r.value << "}";
+  return os.str();
+}
+
+/// Appends records to the JSON array at `path` (creating it if absent).
+inline void AppendBenchRecords(const std::string& path,
+                               const std::vector<BenchRecord>& records) {
+  if (records.empty()) return;
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  // Re-open the array: strip everything from the trailing ']' on.
+  size_t close = existing.rfind(']');
+  bool has_entries = false;
+  if (close != std::string::npos) {
+    size_t open = existing.find('[');
+    has_entries = open != std::string::npos &&
+                  existing.find('{', open) != std::string::npos &&
+                  existing.find('{', open) < close;
+    existing.resize(close);
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' ')) {
+      existing.pop_back();
+    }
+  } else {
+    existing = "[";
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << existing;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (has_entries || i > 0) out << ",";
+    out << "\n  " << ToJson(records[i]);
+  }
+  out << "\n]\n";
+  std::printf("wrote %zu record(s) to %s\n", records.size(), path.c_str());
+}
+
+}  // namespace bench
+}  // namespace pip
+
+#endif  // PIP_BENCH_BENCH_JSON_H_

@@ -24,6 +24,30 @@ class RunningStats {
     m2_ += delta * (x - mean_);
   }
 
+  /// Folds another accumulator into this one (Chan et al.'s pairwise
+  /// combine), as if every sample Add()ed to `other` had been Add()ed
+  /// here after this accumulator's own samples. Numerically stable for
+  /// tiny means: the mean update is the delta form
+  /// mean += delta * n_other / n, which never cancels two large
+  /// same-magnitude terms the way (n1*m1 + n2*m2)/n can when the means
+  /// are ~1e-3 and the counts are large. Used by the parallel sampling
+  /// engine to fold per-chunk accumulators in chunk order.
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    int64_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    double other_weight =
+        static_cast<double>(other.n_) / static_cast<double>(n);
+    mean_ += delta * other_weight;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) * other_weight;
+    n_ = n;
+  }
+
   void Reset() {
     n_ = 0;
     mean_ = 0;

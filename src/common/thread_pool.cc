@@ -1,0 +1,160 @@
+#include "src/common/thread_pool.h"
+
+namespace pip {
+
+namespace {
+
+/// Set while the current thread is executing a pool task; nested
+/// ParallelFor calls detect it and run inline (see header).
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Publish stop_ under idle_mu_: a worker that just evaluated the
+    // wait predicate but has not blocked yet would otherwise miss this
+    // notify forever (lost wakeup -> join() hangs).
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t w = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  {
+    // The increment shares the queue's critical section with the push
+    // (and the decrements in TryRunOne share the pop's), so pending_
+    // can never under-count and wrap — a wrap would leave idle workers
+    // busy-spinning on a phantom task count.
+    std::lock_guard<std::mutex> lock(workers_[w]->mu);
+    workers_[w]->queue.push_back(std::move(task));
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    // Fence: a worker between its wait-predicate check and blocking
+    // holds idle_mu_; taking it here means any worker that proceeds to
+    // block does so after this increment is visible, so the notify
+    // below cannot be lost.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(size_t self) {
+  std::function<void()> task;
+  // Own queue first (front), then steal from the others' backs.
+  {
+    std::lock_guard<std::mutex> lock(workers_[self]->mu);
+    if (!workers_[self]->queue.empty()) {
+      task = std::move(workers_[self]->queue.front());
+      workers_[self]->queue.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (!task) {
+    for (size_t off = 1; off < workers_.size() && !task; ++off) {
+      size_t victim = (self + off) % workers_.size();
+      std::lock_guard<std::mutex> lock(workers_[victim]->mu);
+      if (!workers_[victim]->queue.empty()) {
+        task = std::move(workers_[victim]->queue.back());
+        workers_[victim]->queue.pop_back();
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!task) return false;
+  t_inside_pool_task = true;
+  task();
+  t_inside_pool_task = false;
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (TryRunOne(index)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(ResolveThreads(0));
+  return *pool;
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::ParallelFor(size_t num_chunks, size_t max_workers,
+                             const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (max_workers <= 1 || num_chunks == 1 || t_inside_pool_task) {
+    for (size_t i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> outstanding{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<SharedState>();
+  auto drain = [state, &fn, num_chunks] {
+    for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+         i < num_chunks;
+         i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+
+  size_t helpers = std::min(max_workers, num_chunks) - 1;
+  state->outstanding.store(helpers, std::memory_order_relaxed);
+  for (size_t h = 0; h < helpers; ++h) {
+    // Helpers capture only the shared state and the chunk closure; the
+    // caller outlives them because it blocks on `outstanding` below.
+    Submit([state, drain] {
+      drain();
+      if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    });
+  }
+
+  drain();  // Caller-runs: progress even when the pool is saturated.
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] {
+    return state->outstanding.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::For(size_t num_chunks, size_t num_threads,
+                     const std::function<void(size_t)>& fn) {
+  Shared().ParallelFor(num_chunks, ResolveThreads(num_threads), fn);
+}
+
+}  // namespace pip

@@ -1,0 +1,101 @@
+/// \file thread_pool.h
+/// \brief A small work-stealing thread pool and a deterministic
+/// parallel-for used by the sampling engine.
+///
+/// Determinism contract (see README "Threading model"): parallel callers
+/// never let scheduling decide *what* is computed — only *when*. Work is
+/// split into a chunk schedule that is a pure function of the problem
+/// size, each chunk's result is written to its own slot, and reductions
+/// fold slots in chunk-index order. Which worker executes which chunk is
+/// irrelevant to the result, so `num_threads` is a throughput knob, not a
+/// semantics knob.
+
+#ifndef PIP_COMMON_THREAD_POOL_H_
+#define PIP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pip {
+
+/// \brief A fixed-size pool of workers with per-worker deques and work
+/// stealing.
+///
+/// Tasks submitted via Submit() land on a worker's local deque
+/// (round-robin); an idle worker first drains its own deque, then steals
+/// from the other workers' tails. The pool is shared process-wide via
+/// Shared() so that every SamplingEngine call reuses the same threads
+/// instead of paying thread start-up per query.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, sized to the hardware concurrency. Created on
+  /// first use.
+  static ThreadPool& Shared();
+
+  /// Resolves a `num_threads` option value: 0 means "hardware
+  /// concurrency", anything else is taken literally.
+  static size_t ResolveThreads(size_t requested);
+
+  /// Runs `fn(chunk_index)` for every chunk_index in [0, num_chunks),
+  /// using up to `max_workers` concurrent executors (the calling thread
+  /// participates, so at most max_workers - 1 pool tasks are enqueued).
+  /// Blocks until every chunk has run. Chunk-to-worker assignment is
+  /// dynamic; callers must make each chunk's work independent of the
+  /// others (write to disjoint slots, fold afterwards).
+  ///
+  /// Reentrancy: when called from inside a pool task (nested parallelism)
+  /// the loop degrades to inline serial execution — this keeps the pool
+  /// deadlock-free without a dependency-aware scheduler.
+  void ParallelFor(size_t num_chunks, size_t max_workers,
+                   const std::function<void(size_t)>& fn);
+
+  /// Convenience: ParallelFor over the shared pool with `num_threads`
+  /// resolved via ResolveThreads.
+  static void For(size_t num_chunks, size_t num_threads,
+                  const std::function<void(size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void WorkerLoop(size_t index);
+  bool TryRunOne(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<size_t> next_worker_{0};
+  /// Tasks submitted but not yet picked up; guards the idle wait.
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// Number of chunks of size `chunk` covering `n` items (0 for n == 0).
+inline size_t NumChunks(size_t n, size_t chunk) {
+  return chunk == 0 ? 0 : (n + chunk - 1) / chunk;
+}
+
+}  // namespace pip
+
+#endif  // PIP_COMMON_THREAD_POOL_H_

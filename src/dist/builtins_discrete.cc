@@ -7,6 +7,7 @@
 /// CDF(k) >= p. Finite-domain classes additionally enumerate DomainValues
 /// (zero-mass points omitted), which unlocks possible-world enumeration.
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <unordered_map>
@@ -235,6 +236,77 @@ class DiscreteUniformDist : public Distribution {
 // Categorical(p0, ..., pk-1) — values are the indices 0..k-1.
 // ---------------------------------------------------------------------------
 
+/// Memoized prefix sums of one Categorical parameter vector (ROADMAP
+/// hot-loop item). The memo key is the vector itself, so a lookup still
+/// hashes O(k) doubles — what the table buys is replacing the branchy
+/// accumulate-and-compare scans of Cdf/InverseCdf with one hash plus a
+/// binary search, allocation-free on hits. The *per-attempt* sampler
+/// hot path doesn't even pay the hash: the engine builds a per-plan
+/// QuantileTable (src/sampling/expectation.cc) and never comes back
+/// here. prefix[k] is the mass of categories 0..k-1 (prefix[0] = 0),
+/// summed in index order so the values are bitwise identical to the
+/// running accumulations they replace.
+struct CategoricalTable {
+  std::vector<double> prefix;
+
+  /// Smallest category k with prefix[k+1] >= q and positive cumulative
+  /// mass; the last positive-mass category for the rounding tail (q ~ 1).
+  /// Matches the pre-table linear scan on boundary ties exactly.
+  double Quantile(double q, const std::vector<double>& p) const {
+    size_t n = p.size();
+    auto it = std::lower_bound(prefix.begin() + 1, prefix.end(), q);
+    if (it != prefix.end()) {
+      // `prefix > 0` keeps q <= 0 (and leading zero-mass categories) from
+      // resolving to a value the law never produces: advance to the first
+      // positive-mass boundary, as the linear scan did.
+      for (size_t k = static_cast<size_t>(it - prefix.begin()) - 1; k < n;
+           ++k) {
+        if (prefix[k + 1] > 0.0) return static_cast<double>(k);
+      }
+    }
+    // Rounding tail (q ~ 1): the last positive-mass category.
+    for (size_t k = n; k-- > 0;) {
+      if (p[k] > 0.0) return static_cast<double>(k);
+    }
+    return 0.0;
+  }
+
+  /// Memoized per parameter vector; thread-local so lookups take no
+  /// lock (same pattern as the Zipf table below).
+  static std::shared_ptr<const CategoricalTable> For(
+      const std::vector<double>& p) {
+    struct KeyHash {
+      size_t operator()(const std::vector<double>& key) const {
+        size_t h = 0x811c9dc5ULL;
+        for (double w : key) {
+          h ^= std::hash<double>{}(w) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+               (h >> 2);
+        }
+        return h;
+      }
+    };
+    static thread_local std::unordered_map<
+        std::vector<double>, std::shared_ptr<const CategoricalTable>, KeyHash>
+        cache;
+    static thread_local size_t cached_elements = 0;
+    auto it = cache.find(p);
+    if (it != cache.end()) return it->second;
+    auto table = std::make_shared<CategoricalTable>();
+    table->prefix.resize(p.size() + 1);
+    table->prefix[0] = 0.0;
+    for (size_t k = 0; k < p.size(); ++k) {
+      table->prefix[k + 1] = table->prefix[k] + p[k];
+    }
+    if (cached_elements + p.size() + 1 > (4u << 20)) {
+      cache.clear();
+      cached_elements = 0;
+    }
+    cached_elements += p.size() + 1;
+    cache.emplace(p, table);
+    return table;
+  }
+};
+
 class CategoricalDist : public Distribution {
  public:
   const std::string& name() const override {
@@ -267,6 +339,11 @@ class CategoricalDist : public Distribution {
   }
   Status GenerateJoint(const std::vector<double>& p, const SampleContext& ctx,
                        std::vector<double>* out) const override {
+    // Deliberately NOT table-backed: the early-exit scan stops at the
+    // drawn category (expected O(E[k]) with no hashing), which beats the
+    // memo lookup's full-vector hash for the small k typical of draws.
+    // The table earns its keep in Cdf/InverseCdf, where the engine's
+    // lattice integration makes O(k) scans per call quadratic.
     RandomStream stream = ctx.StreamFor(0);
     double u = stream.NextUniform();
     double acc = 0.0;
@@ -296,28 +373,16 @@ class CategoricalDist : public Distribution {
   }
   StatusOr<double> Cdf(const std::vector<double>& p, uint32_t,
                        double x) const override {
-    if (x < 0.0) return 0.0;
-    double acc = 0.0;
-    double top = std::floor(x);
-    for (size_t k = 0; k < p.size() && static_cast<double>(k) <= top; ++k) {
-      acc += p[k];
-    }
-    return std::min(acc, 1.0);
+    // Negated compare: NaN lands in the first return too. Empty p is
+    // rejected by ValidateParams but guarded for direct plugin-API use.
+    if (p.empty() || !(x >= 0.0)) return 0.0;
+    size_t top = static_cast<size_t>(
+        std::min(std::floor(x), static_cast<double>(p.size()) - 1.0));
+    return std::min(CategoricalTable::For(p)->prefix[top + 1], 1.0);
   }
   StatusOr<double> InverseCdf(const std::vector<double>& p, uint32_t,
                               double q) const override {
-    double acc = 0.0;
-    for (size_t k = 0; k < p.size(); ++k) {
-      acc += p[k];
-      // `acc > 0` keeps q <= 0 (and leading zero-mass categories) from
-      // resolving to a value the law never produces.
-      if (acc >= q && acc > 0.0) return static_cast<double>(k);
-    }
-    // Rounding tail (q ~ 1): the last positive-mass category.
-    for (size_t k = p.size(); k-- > 0;) {
-      if (p[k] > 0.0) return static_cast<double>(k);
-    }
-    return 0.0;
+    return CategoricalTable::For(p)->Quantile(q, p);
   }
   StatusOr<double> Mean(const std::vector<double>& p, uint32_t) const override {
     double mean = 0.0;

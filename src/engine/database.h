@@ -26,6 +26,14 @@ class Database {
   VariablePool* pool() { return &pool_; }
   const VariablePool& pool() const { return pool_; }
 
+  /// Database-wide sampling defaults, inherited by MakeEngine() and new
+  /// SQL sessions. This is where deployment-level knobs (num_threads,
+  /// fixed_samples, tolerances) are threaded down to the engine.
+  const SamplingOptions& default_options() const { return default_options_; }
+  void set_default_options(SamplingOptions options) {
+    default_options_ = options;
+  }
+
   /// CREATE_VARIABLE(distribution, params): allocates a fresh random
   /// variable (paper §V-A).
   StatusOr<VarRef> CreateVariable(const std::string& distribution,
@@ -49,13 +57,20 @@ class Database {
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
-  /// A sampling engine bound to this database's pool.
-  SamplingEngine MakeEngine(SamplingOptions options = {}) const {
+  /// A sampling engine bound to this database's pool, using the
+  /// database-wide default options.
+  SamplingEngine MakeEngine() const {
+    return SamplingEngine(&pool_, default_options_);
+  }
+  /// A sampling engine with explicit options (callers typically copy
+  /// default_options() and tweak).
+  SamplingEngine MakeEngine(SamplingOptions options) const {
     return SamplingEngine(&pool_, options);
   }
 
  private:
   VariablePool pool_;
+  SamplingOptions default_options_;
   std::unordered_map<std::string, CTable> tables_;
 };
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/running_stats.h"
+#include "src/common/thread_pool.h"
 #include "src/ctable/algebra.h"
 
 namespace pip {
@@ -197,29 +198,55 @@ StatusOr<std::vector<double>> AggregateEvaluator::SampleWorlds(
     if (ids.empty() || ids.back() != v.var_id) ids.push_back(v.var_id);
   }
 
-  std::vector<double> results;
-  results.reserve(options_.world_samples);
-  std::vector<double> joint;
-  Assignment world;
-  std::vector<double> values;
-  for (size_t w = 0; w < options_.world_samples; ++w) {
-    uint64_t sample_index = engine_->options().sample_offset + w;
-    world.Clear();
-    for (uint64_t id : ids) {
-      PIP_RETURN_IF_ERROR(
-          pool.GenerateJoint(id, sample_index, kWorldMarker, &joint));
-      for (uint32_t comp = 0; comp < joint.size(); ++comp) {
-        world.Set(VarRef{id, comp}, joint[comp]);
-      }
-    }
-    values.clear();
-    for (const auto& row : table.rows()) {
-      PIP_ASSIGN_OR_RETURN(bool present, row.condition.Eval(world));
-      if (!present) continue;
-      PIP_ASSIGN_OR_RETURN(double v, row.cells[col]->EvalDouble(world));
-      values.push_back(v);
-    }
-    results.push_back(fold(values));
+  // Every world is a pure function of its sample index, so the world
+  // space shards across threads with bit-identical results: each chunk
+  // writes its own slots, no cross-world state exists, and the fold
+  // below reads the slots in index order.
+  const size_t n = options_.world_samples;
+  std::vector<double> results(n, 0.0);
+  const size_t chunk =
+      std::max<size_t>(1, engine_->options().chunk_samples);
+  std::vector<Status> chunk_status(NumChunks(n, chunk), Status::OK());
+  ThreadPool::For(
+      NumChunks(n, chunk), engine_->options().num_threads, [&](size_t c) {
+        std::vector<double> joint;
+        Assignment world;
+        std::vector<double> values;
+        size_t end = std::min(n, (c + 1) * chunk);
+        for (size_t w = c * chunk; w < end; ++w) {
+          uint64_t sample_index = engine_->options().sample_offset + w;
+          world.Clear();
+          for (uint64_t id : ids) {
+            Status s =
+                pool.GenerateJoint(id, sample_index, kWorldMarker, &joint);
+            if (!s.ok()) {
+              chunk_status[c] = s;
+              return;
+            }
+            for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+              world.Set(VarRef{id, comp}, joint[comp]);
+            }
+          }
+          values.clear();
+          for (const auto& row : table.rows()) {
+            auto present = row.condition.Eval(world);
+            if (!present.ok()) {
+              chunk_status[c] = present.status();
+              return;
+            }
+            if (!present.value()) continue;
+            auto v = row.cells[col]->EvalDouble(world);
+            if (!v.ok()) {
+              chunk_status[c] = v.status();
+              return;
+            }
+            values.push_back(v.value());
+          }
+          results[w] = fold(values);
+        }
+      });
+  for (const Status& s : chunk_status) {
+    PIP_RETURN_IF_ERROR(s);
   }
   return results;
 }

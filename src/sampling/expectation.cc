@@ -1,9 +1,11 @@
 #include "src/sampling/expectation.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/running_stats.h"
 #include "src/common/special_math.h"
+#include "src/common/thread_pool.h"
 #include "src/sampling/metropolis.h"
 
 namespace pip {
@@ -12,6 +14,18 @@ namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Largest finite discrete domain memoized into a per-plan quantile
+/// table. Bigger domains (e.g. a 1e6-rank Zipf) keep going through the
+/// distribution's own InverseCdf, which such classes memoize internally.
+constexpr size_t kMaxQuantileTable = 4096;
+
+/// Floor of a shard's rejection-attempt budget. The proportional share
+/// (max_total_attempts scaled by the shard's fraction of the schedule)
+/// can be tiny for small shards; the floor keeps moderately-selective
+/// conditions from collapsing spuriously while still bounding the work
+/// an unsatisfiable condition can burn per shard.
+constexpr size_t kMinChunkAttempts = size_t{1} << 20;
 
 /// Views an atom as (Var op Const); flips sides when the variable is on
 /// the right. Returns false when the atom has another shape.
@@ -37,6 +51,61 @@ bool AsVarConst(const ConstraintAtom& atom, VarRef* var, CmpOp* op,
   return true;
 }
 
+/// Shape-level exact-CDF eligibility of one group: a single variable
+/// with a CDF, every atom var-vs-numeric-const, and a PMF available when
+/// equality/disequality atoms occur. Depends only on structure and class
+/// capabilities, so PlanCache skeletons carry the verdict across rows.
+bool ExactCdfEligible(const Condition& condition, const VariableGroup& group,
+                      const VariablePool& pool) {
+  if (group.vars.size() != 1 || group.atom_indices.empty()) return false;
+  VarRef v = *group.vars.begin();
+  if (!pool.HasCdf(v)) return false;
+  bool needs_pmf = false;
+  for (size_t idx : group.atom_indices) {
+    VarRef av;
+    CmpOp op;
+    double c;
+    if (!AsVarConst(condition.atoms()[idx], &av, &op, &c)) return false;
+    if (op == CmpOp::kEq || op == CmpOp::kNe) needs_pmf = true;
+  }
+  return !needs_pmf || pool.HasPdf(v);
+}
+
+/// The shared chunk-wave determinism protocol: runs chunks
+/// [start_chunk, ceil(cap / chunk)) of the index space [0, cap),
+/// dispatching `run(chunk_index, begin, end, *outcome)` into per-chunk
+/// slots and folding outcomes IN CHUNK ORDER via
+/// `fold(chunk_index, outcome)` (return false to stop). Wave-limited callers (adaptive stopping,
+/// budget ledgers) get waves of `workers` chunks so barrier checks stay
+/// frequent and over-run work stays bounded; others dispatch every
+/// remaining chunk at once. Every consumer of this driver inherits the
+/// same guarantee: which worker ran a chunk never affects what is
+/// folded, or in what order.
+template <typename Outcome, typename Run, typename Fold>
+void RunChunkedWaves(uint64_t cap, size_t chunk, size_t start_chunk,
+                     bool wave_limited, size_t num_threads, const Run& run,
+                     const Fold& fold) {
+  const size_t nchunks = NumChunks(cap, chunk);
+  const size_t workers = ThreadPool::ResolveThreads(num_threads);
+  size_t c = start_chunk;
+  bool stopped = false;
+  std::vector<Outcome> wave;
+  while (c < nchunks && !stopped) {
+    size_t wave_len =
+        wave_limited ? std::min(workers, nchunks - c) : nchunks - c;
+    wave.assign(wave_len, Outcome{});
+    ThreadPool::For(wave_len, num_threads, [&](size_t k) {
+      uint64_t begin = static_cast<uint64_t>(c + k) * chunk;
+      uint64_t end = std::min<uint64_t>(cap, begin + chunk);
+      run(c + k, begin, end, &wave[k]);
+    });
+    for (size_t k = 0; k < wave_len && !stopped; ++k) {
+      if (!fold(c + k, wave[k])) stopped = true;
+    }
+    c += wave_len;
+  }
+}
+
 /// One quantile-window draw, strictly inside the open interval (0, 1):
 /// rounding to an absolute endpoint would push an unbounded support's
 /// quantile (InverseCdf(0) = -inf, InverseCdf(1) = +inf) into the sample,
@@ -44,6 +113,31 @@ bool AsVarConst(const ConstraintAtom& atom, VarRef* var, CmpOp* op,
 double WindowDraw(RandomStream* stream, double lo, double hi) {
   return ClampUnitOpen(lo + (hi - lo) * stream->NextOpenUniform());
 }
+
+/// Per-plan memoized quantile table of a finite discrete variable:
+/// domain values ascending with their cumulative masses, built once per
+/// plan so the constrained sampler's hot loop never re-walks the
+/// distribution's partial sums per attempt (ROADMAP hot-loop item).
+/// Unlike CategoricalTable (builtins_discrete.cc), which searches raw
+/// parameter vectors, this one is built from DomainValues() — whose
+/// contract omits zero-mass points, so every entry here has positive
+/// mass and no zero-mass guards are needed. A rounding-tail q above
+/// cum.back() lands on the last (positive-mass) value, and any
+/// off-by-an-ulp boundary draw is caught by the atom re-check in the
+/// rejection loop (it becomes one wasted attempt, never a wrong
+/// sample).
+struct QuantileTable {
+  std::vector<double> values;
+  std::vector<double> cum;
+
+  /// Smallest domain value whose cumulative mass reaches p (matching the
+  /// discrete InverseCdf convention); the last value for p ~ 1.
+  double Quantile(double p) const {
+    auto it = std::lower_bound(cum.begin(), cum.end(), p);
+    if (it == cum.end()) return values.back();
+    return values[static_cast<size_t>(it - cum.begin())];
+  }
+};
 
 /// Recursive adaptive Simpson quadrature. `ok` is cleared if the integrand
 /// ever fails to evaluate; the result is then meaningless and the caller
@@ -89,15 +183,56 @@ struct SamplingEngine::GroupPlan {
   std::vector<bool> cdf_constrained;
   double window_prob = 1.0;  // Product of window widths.
 
+  /// Memoized quantile tables per vars[i] (null = use the
+  /// distribution's InverseCdf). Shared by chunk clones.
+  std::vector<std::shared_ptr<const QuantileTable>> quantile_tables;
+
   bool exact = false;        // Exact CDF integration available.
   double exact_prob = 1.0;
 
   // Runtime counters (Alg. 4.3's N and Count[K]).
   size_t accepted = 0;
   size_t attempts = 0;
+  /// Shard clones disable the Metropolis switch: the decision and the
+  /// chain live with the pilot shard so the switch never depends on
+  /// scheduling (see the Expectation driver).
+  bool allow_metropolis = true;
   std::unique_ptr<MetropolisSampler> metropolis;
   uint64_t chain_key = 0;
   ConsistencyResult consistency;  // Shared bounds (copied per group).
+
+  /// A counter-reset copy for one shard of the sample-index space.
+  /// `chunk_salt` decorrelates any chain this clone might otherwise seed
+  /// (it cannot — allow_metropolis is off — but the salt keeps the key
+  /// schedule honest if that ever changes).
+  GroupPlan CloneForChunk(uint64_t chunk_salt) const {
+    GroupPlan c;
+    c.vars = vars;
+    c.var_ids = var_ids;
+    c.atoms = atoms;
+    c.touches_target = touches_target;
+    c.window_lo = window_lo;
+    c.window_hi = window_hi;
+    c.cdf_constrained = cdf_constrained;
+    c.window_prob = window_prob;
+    c.quantile_tables = quantile_tables;
+    c.exact = exact;
+    c.exact_prob = exact_prob;
+    c.allow_metropolis = false;
+    c.chain_key = MixBits(chain_key, chunk_salt, 0x63686e6bULL, 1);
+    c.consistency = consistency;
+    return c;
+  }
+};
+
+/// Result of one shard of the expectation loop.
+struct SamplingEngine::ChunkOutcome {
+  RunningStats stats;
+  size_t attempts = 0;  // Attempt-counter consumption of this shard.
+  /// Per-plan counter deltas (clone counters, folded back in order).
+  std::vector<size_t> group_accepted, group_attempts;
+  bool collapsed = false;  // Attempt budget exhausted mid-shard.
+  Status status = Status::OK();
 };
 
 StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
@@ -115,9 +250,49 @@ StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
     return std::vector<GroupPlan>{};
   }
 
+  // Structure-only planning: partition + per-group exact eligibility.
+  // Both are pure functions of the condition's *shape*, so rows sharing a
+  // shape (Analyze batches, inclusion-exclusion conjunctions) pay them
+  // once through the shape cache.
   std::vector<VariableGroup> groups;
+  std::vector<bool> exact_eligible;
   if (options_.use_independence) {
-    groups = PartitionIndependent(condition, target_vars);
+    uint32_t flags = (options_.use_exact_cdf ? 1u : 0u) |
+                     (options_.use_cdf_sampling ? 2u : 0u);
+    std::vector<VarRef> canon_vars;
+    std::string key =
+        PlanCache::ShapeKey(condition, target_vars, *pool_, flags,
+                            &canon_vars);
+    std::shared_ptr<const PlanSkeleton> skeleton = plan_cache_->Lookup(key);
+    if (skeleton == nullptr) {
+      groups = PartitionIndependent(condition, target_vars);
+      auto built = std::make_shared<PlanSkeleton>();
+      built->groups.reserve(groups.size());
+      std::map<VarRef, size_t> slot_of;
+      for (size_t s = 0; s < canon_vars.size(); ++s) slot_of[canon_vars[s]] = s;
+      for (const auto& g : groups) {
+        PlanSkeleton::Group sg;
+        sg.var_slots.reserve(g.vars.size());
+        for (const VarRef& v : g.vars) sg.var_slots.push_back(slot_of.at(v));
+        sg.atom_indices = g.atom_indices;
+        sg.touches_target = g.touches_target;
+        sg.exact_eligible = options_.use_exact_cdf &&
+                            ExactCdfEligible(condition, g, *pool_);
+        exact_eligible.push_back(sg.exact_eligible);
+        built->groups.push_back(std::move(sg));
+      }
+      plan_cache_->Insert(key, std::move(built));
+    } else {
+      groups.reserve(skeleton->groups.size());
+      for (const auto& sg : skeleton->groups) {
+        VariableGroup g;
+        for (size_t slot : sg.var_slots) g.vars.insert(canon_vars[slot]);
+        g.atom_indices = sg.atom_indices;
+        g.touches_target = sg.touches_target;
+        groups.push_back(std::move(g));
+        exact_eligible.push_back(sg.exact_eligible);
+      }
+    }
   } else {
     // Ablation mode: one monolithic group.
     VariableGroup g;
@@ -127,7 +302,11 @@ StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
       g.atom_indices.push_back(i);
     }
     g.touches_target = !target_vars.empty();
-    if (!g.vars.empty()) groups.push_back(std::move(g));
+    if (!g.vars.empty()) {
+      exact_eligible.push_back(options_.use_exact_cdf &&
+                               ExactCdfEligible(condition, g, *pool_));
+      groups.push_back(std::move(g));
+    }
   }
 
   std::vector<GroupPlan> plans;
@@ -150,34 +329,17 @@ StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
     // replayable.
     uint64_t atoms_hash = 0;
     for (const auto& a : plan.atoms) atoms_hash ^= a.Hash();
+    plan.exact = exact_eligible[group_index];
     plan.chain_key =
         MixBits(atoms_hash, group_index++, options_.sample_offset, 0x4d48ULL);
 
-    // Exact CDF integration: one variable, every atom var-vs-const.
-    if (options_.use_exact_cdf && plan.vars.size() == 1 &&
-        !plan.atoms.empty() && pool_->HasCdf(plan.vars[0])) {
-      bool all_simple = true;
-      bool needs_pmf = false;
-      for (const auto& atom : plan.atoms) {
-        VarRef v;
-        CmpOp op;
-        double c;
-        if (!AsVarConst(atom, &v, &op, &c)) {
-          all_simple = false;
-          break;
-        }
-        if (op == CmpOp::kEq || op == CmpOp::kNe) needs_pmf = true;
-      }
-      if (all_simple && (!needs_pmf || pool_->HasPdf(plan.vars[0]))) {
-        plan.exact = true;
-        // exact_prob filled below once windows exist (shares atom parsing).
-      }
-    }
-
-    // Per-variable CDF windows from the consistency bounds.
+    // Per-variable CDF windows from the consistency bounds, memoized in
+    // the plan: endpoints are evaluated here exactly once and reused by
+    // every attempt of every sample.
     plan.window_lo.assign(plan.vars.size(), 0.0);
     plan.window_hi.assign(plan.vars.size(), 1.0);
     plan.cdf_constrained.assign(plan.vars.size(), false);
+    plan.quantile_tables.assign(plan.vars.size(), nullptr);
     for (size_t i = 0; i < plan.vars.size(); ++i) {
       const VarRef& v = plan.vars[i];
       if (!options_.use_cdf_sampling) continue;
@@ -216,6 +378,36 @@ StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
       plan.window_hi[i] = fhi;
       plan.cdf_constrained[i] = (flo > 0.0 || fhi < 1.0);
       plan.window_prob *= (fhi - flo);
+
+      // Finite discrete variables get a per-plan quantile table so the
+      // hot loop's inverse-CDF becomes a binary search over prefix sums
+      // computed once per plan (not per attempt).
+      const Distribution* dist = info.value()->dist;
+      if (plan.cdf_constrained[i] && dist->HasFiniteDomain() &&
+          dist->HasPdf()) {
+        auto size_or = dist->DomainSize(info.value()->params);
+        if (size_or.ok() && size_or.value() > 0 &&
+            size_or.value() <= kMaxQuantileTable) {
+          auto values_or = dist->DomainValues(info.value()->params);
+          if (values_or.ok() && !values_or.value().empty()) {
+            auto table = std::make_shared<QuantileTable>();
+            table->values = std::move(values_or).value();
+            table->cum.reserve(table->values.size());
+            double acc = 0.0;
+            bool ok = true;
+            for (double x : table->values) {
+              auto mass = pool_->Pdf(v, x);
+              if (!mass.ok()) {
+                ok = false;
+                break;
+              }
+              acc += mass.value();
+              table->cum.push_back(acc);
+            }
+            if (ok) plan.quantile_tables[i] = std::move(table);
+          }
+        }
+      }
     }
 
     if (plan.exact) {
@@ -470,10 +662,26 @@ StatusOr<std::optional<double>> SamplingEngine::TryNumericIntegration(
   return std::optional<double>{numerator / mass};
 }
 
+size_t SamplingEngine::ChunkAttemptBudget(size_t chunk_len,
+                                          size_t schedule_len,
+                                          bool pilot) const {
+  if (pilot || schedule_len == 0 || chunk_len >= schedule_len) {
+    return options_.max_total_attempts;
+  }
+  double share = static_cast<double>(options_.max_total_attempts) *
+                 static_cast<double>(chunk_len) /
+                 static_cast<double>(schedule_len);
+  double budget =
+      std::max(share, static_cast<double>(kMinChunkAttempts));
+  return static_cast<size_t>(
+      std::min(budget, static_cast<double>(options_.max_total_attempts)));
+}
+
 StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
                                                uint64_t sample_index,
                                                Assignment* assignment,
-                                               size_t* total_attempts) const {
+                                               size_t* total_attempts,
+                                               size_t attempt_budget) const {
   // Metropolis mode: the chain hands us a constrained sample directly.
   if (plan->metropolis != nullptr) {
     PIP_RETURN_IF_ERROR(plan->metropolis->NextSample(assignment));
@@ -483,7 +691,7 @@ StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
 
   std::vector<double> joint;
   for (uint64_t attempt = 0;; ++attempt) {
-    if (++(*total_attempts) > options_.max_total_attempts) return false;
+    if (++(*total_attempts) > attempt_budget) return false;
     ++plan->attempts;
 
     // Draw every variable of the group.
@@ -494,7 +702,12 @@ StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
         RandomStream stream = ctx.StreamFor(v.component);
         double u =
             WindowDraw(&stream, plan->window_lo[i], plan->window_hi[i]);
-        PIP_ASSIGN_OR_RETURN(double x, pool_->InverseCdf(v, u));
+        double x;
+        if (plan->quantile_tables[i] != nullptr) {
+          x = plan->quantile_tables[i]->Quantile(u);
+        } else {
+          PIP_ASSIGN_OR_RETURN(x, pool_->InverseCdf(v, u));
+        }
         assignment->Set(v, x);
       } else if (i == 0 || plan->vars[i].var_id != plan->vars[i - 1].var_id) {
         // Natural joint draw of all components of this id.
@@ -521,8 +734,11 @@ StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
     }
 
     // Metropolis switch check (Alg. 4.3 lines 19-24): rejection rate over
-    // this group's lifetime exceeded the threshold.
-    if (options_.use_metropolis && plan->attempts >= options_.metropolis_check_after) {
+    // this group's lifetime exceeded the threshold. Shard clones skip the
+    // check — the chain decision belongs to the pilot shard, so it never
+    // depends on how the index space was scheduled.
+    if (options_.use_metropolis && plan->allow_metropolis &&
+        plan->attempts >= options_.metropolis_check_after) {
       double rejection_rate =
           1.0 - static_cast<double>(plan->accepted) /
                     static_cast<double>(plan->attempts);
@@ -549,56 +765,182 @@ StatusOr<double> SamplingEngine::EstimateGroupProbability(
 
   // Fresh Monte Carlo estimate of P[atoms | windows] * window_prob. The
   // attempt-key marker decorrelates these draws from the expectation
-  // loop's draws.
+  // loop's draws. Each draw is a pure function of its sample index, so
+  // the index space shards into chunks exactly like the expectation
+  // loop: fixed chunk schedule, hits folded in chunk order, adaptive
+  // stopping evaluated at chunk barriers only.
   constexpr uint64_t kEstimateMarker = 0xE571ULL << 32;
   const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
-  size_t n = 0, hits = 0;
-  std::vector<double> joint;
-  Assignment a;
   size_t cap = options_.fixed_samples > 0
                    ? std::max<size_t>(options_.fixed_samples, 256)
                    : options_.max_samples;
-  while (true) {
-    if (++(*total_attempts) > options_.max_total_attempts) break;
-    uint64_t sample_index = options_.sample_offset + n;
-    for (size_t i = 0; i < plan->vars.size(); ++i) {
-      const VarRef& v = plan->vars[i];
-      if (plan->cdf_constrained[i]) {
-        SampleContext ctx{pool_->seed(), v.var_id, sample_index,
-                          kEstimateMarker};
-        RandomStream stream = ctx.StreamFor(v.component);
-        double u =
-            WindowDraw(&stream, plan->window_lo[i], plan->window_hi[i]);
-        PIP_ASSIGN_OR_RETURN(double x, pool_->InverseCdf(v, u));
-        a.Set(v, x);
-      } else if (i == 0 || plan->vars[i].var_id != plan->vars[i - 1].var_id) {
-        PIP_RETURN_IF_ERROR(pool_->GenerateJoint(v.var_id, sample_index,
-                                                 kEstimateMarker, &joint));
-        for (uint32_t comp = 0; comp < joint.size(); ++comp) {
-          a.Set(VarRef{v.var_id, comp}, joint[comp]);
+  const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
+  const bool adaptive = options_.fixed_samples == 0;
+
+  struct HitChunk {
+    size_t n = 0, hits = 0, attempts = 0;
+    bool truncated = false;
+    Status status = Status::OK();
+  };
+  auto run_chunk = [&](uint64_t begin, uint64_t end, HitChunk* out) {
+    size_t budget = ChunkAttemptBudget(end - begin, cap);
+    std::vector<double> joint;
+    Assignment a;
+    for (uint64_t idx = begin; idx < end; ++idx) {
+      if (++out->attempts > budget) {
+        out->truncated = true;
+        return;
+      }
+      uint64_t sample_index = options_.sample_offset + idx;
+      for (size_t i = 0; i < plan->vars.size(); ++i) {
+        const VarRef& v = plan->vars[i];
+        if (plan->cdf_constrained[i]) {
+          SampleContext ctx{pool_->seed(), v.var_id, sample_index,
+                            kEstimateMarker};
+          RandomStream stream = ctx.StreamFor(v.component);
+          double u =
+              WindowDraw(&stream, plan->window_lo[i], plan->window_hi[i]);
+          double x;
+          if (plan->quantile_tables[i] != nullptr) {
+            x = plan->quantile_tables[i]->Quantile(u);
+          } else {
+            auto x_or = pool_->InverseCdf(v, u);
+            if (!x_or.ok()) {
+              out->status = x_or.status();
+              return;
+            }
+            x = x_or.value();
+          }
+          a.Set(v, x);
+        } else if (i == 0 ||
+                   plan->vars[i].var_id != plan->vars[i - 1].var_id) {
+          Status s = pool_->GenerateJoint(v.var_id, sample_index,
+                                          kEstimateMarker, &joint);
+          if (!s.ok()) {
+            out->status = s;
+            return;
+          }
+          for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+            a.Set(VarRef{v.var_id, comp}, joint[comp]);
+          }
         }
       }
+      bool ok = true;
+      for (const auto& atom : plan->atoms) {
+        auto t = atom.Eval(a);
+        if (!t.ok()) {
+          out->status = t.status();
+          return;
+        }
+        if (!t.value()) {
+          ok = false;
+          break;
+        }
+      }
+      ++out->n;
+      if (ok) ++out->hits;
     }
-    bool ok = true;
-    for (const auto& atom : plan->atoms) {
-      PIP_ASSIGN_OR_RETURN(bool t, atom.Eval(a));
-      if (!t) {
-        ok = false;
+  };
+
+  size_t n = 0, hits = 0;
+  Status chunk_error = Status::OK();
+  RunChunkedWaves<HitChunk>(
+      cap, chunk, /*start_chunk=*/0, adaptive, options_.num_threads,
+      [&](size_t, uint64_t begin, uint64_t end, HitChunk* out) {
+        run_chunk(begin, end, out);
+      },
+      [&](size_t, HitChunk& o) {
+        if (!o.status.ok()) {
+          chunk_error = o.status;
+          return false;
+        }
+        *total_attempts += o.attempts;
+        n += o.n;
+        hits += o.hits;
+        // Budget collapse — the shard's own, or the call-wide ledger
+        // (*total_attempts carries over from the expectation phase, so
+        // max_total_attempts bounds the whole call, not just this
+        // estimator): estimate from what we have.
+        if (o.truncated || *total_attempts > options_.max_total_attempts) {
+          return false;
+        }
+        if (adaptive && n >= options_.min_samples) {
+          double p = static_cast<double>(hits) / static_cast<double>(n);
+          double half_width = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                            static_cast<double>(n));
+          if (half_width <= options_.delta * std::max(p, 0.01)) return false;
+        }
+        return true;
+      });
+  PIP_RETURN_IF_ERROR(chunk_error);
+  double p = n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  return p * plan->window_prob;
+}
+
+SamplingEngine::ChunkOutcome SamplingEngine::RunExpectationChunk(
+    std::vector<GroupPlan>* plans, const ExprPtr& expr, uint64_t begin,
+    uint64_t end, size_t attempt_budget, size_t chunk_index,
+    std::atomic<uint64_t>* first_collapsed) const {
+  ChunkOutcome out;
+  std::vector<size_t> accepted0(plans->size()), attempts0(plans->size());
+  for (size_t g = 0; g < plans->size(); ++g) {
+    accepted0[g] = (*plans)[g].accepted;
+    attempts0[g] = (*plans)[g].attempts;
+  }
+  Assignment assignment;
+  for (uint64_t i = begin; i < end; ++i) {
+    // A strictly earlier chunk's budget genuinely collapsed: the
+    // in-order fold stops before ever reading this chunk, so stop
+    // burning its budget. Strictly-earlier matters: chunks before the
+    // minimal collapsed index never abort, keeping the fold's view of
+    // them — and hence the visible result — bit-identical to a serial
+    // run.
+    if (first_collapsed != nullptr &&
+        first_collapsed->load(std::memory_order_relaxed) < chunk_index) {
+      out.collapsed = true;
+      break;
+    }
+    assignment.Clear();
+    bool got_all = true;
+    for (auto& plan : *plans) {
+      if (!plan.touches_target) continue;
+      auto ok = SampleGroupOnce(&plan, options_.sample_offset + i,
+                                &assignment, &out.attempts, attempt_budget);
+      if (!ok.ok()) {
+        out.status = ok.status();
+        break;
+      }
+      if (!ok.value()) {
+        got_all = false;
         break;
       }
     }
-    ++n;
-    if (ok) ++hits;
-    if (n >= cap) break;
-    if (n >= options_.min_samples && options_.fixed_samples == 0) {
-      double p = static_cast<double>(hits) / static_cast<double>(n);
-      double half_width = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
-                                        static_cast<double>(n));
-      if (half_width <= options_.delta * std::max(p, 0.01)) break;
+    if (!out.status.ok()) break;
+    if (!got_all) {
+      out.collapsed = true;
+      if (first_collapsed != nullptr) {
+        uint64_t cur = first_collapsed->load(std::memory_order_relaxed);
+        while (chunk_index < cur &&
+               !first_collapsed->compare_exchange_weak(
+                   cur, chunk_index, std::memory_order_relaxed)) {
+        }
+      }
+      break;
     }
+    auto value = expr->EvalDouble(assignment);
+    if (!value.ok()) {
+      out.status = value.status();
+      break;
+    }
+    out.stats.Add(value.value());
   }
-  double p = n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
-  return p * plan->window_prob;
+  out.group_accepted.resize(plans->size());
+  out.group_attempts.resize(plans->size());
+  for (size_t g = 0; g < plans->size(); ++g) {
+    out.group_accepted[g] = (*plans)[g].accepted - accepted0[g];
+    out.group_attempts[g] = (*plans)[g].attempts - attempts0[g];
+  }
+  return out;
 }
 
 StatusOr<ExpectationResult> SamplingEngine::Expectation(
@@ -652,47 +994,151 @@ StatusOr<ExpectationResult> SamplingEngine::Expectation(
     }
   }
   if (!integrated) {
-    RunningStats stats;
+    // Monte Carlo over the sample-index space, sharded into contiguous
+    // chunks. The chunk schedule, the merge order and the adaptive
+    // stopping barriers depend only on chunk_samples — never on
+    // num_threads — so serial and parallel runs accept the same index
+    // set and fold the same merge tree: results are bit-identical.
     const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
-    Assignment assignment;
-    for (size_t i = 0;; ++i) {
-      // Stopping rule (the epsilon-delta goal of Alg. 4.3 line 12).
-      if (options_.fixed_samples > 0) {
-        if (i >= options_.fixed_samples) break;
-      } else {
-        if (i >= options_.max_samples) break;
-        if (i >= options_.min_samples) {
-          double mean = std::fabs(stats.mean());
-          double half_width = z * stats.standard_error();
-          if (half_width <= options_.delta * std::max(mean, 1e-9)) break;
-        }
-      }
-      assignment.Clear();
-      bool got_all = true;
-      for (auto& plan : plans) {
-        if (!plan.touches_target) continue;
-        PIP_ASSIGN_OR_RETURN(
-            bool ok, SampleGroupOnce(&plan, options_.sample_offset + i,
-                                     &assignment, &total_attempts));
-        if (!ok) {
-          got_all = false;
-          break;
-        }
-      }
-      if (!got_all) {
-        // Sampling budget collapsed: the condition region is effectively
-        // unreachable. Per the paper, report NAN.
-        result.expectation = kNan;
-        result.probability = 0.0;
-        result.attempts = total_attempts;
-        return result;
-      }
-      PIP_ASSIGN_OR_RETURN(double value, expr->EvalDouble(assignment));
-      stats.Add(value);
-      sampled = true;
+    const bool fixed = options_.fixed_samples > 0;
+    const size_t schedule_len =
+        fixed ? options_.fixed_samples : options_.max_samples;
+    const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
+    const size_t nchunks = NumChunks(schedule_len, chunk);
+    auto chunk_range = [&](size_t c, uint64_t* b, uint64_t* e) {
+      *b = static_cast<uint64_t>(c) * chunk;
+      *e = std::min<uint64_t>(schedule_len, *b + chunk);
+    };
+
+    RunningStats merged;
+    bool collapsed = false;
+    // Lowest chunk index whose budget genuinely collapsed; later chunks
+    // abort early (discarded by the in-order fold), bounding the work a
+    // collapsing call can burn without touching determinism.
+    std::atomic<uint64_t> first_collapsed{UINT64_MAX};
+
+    // Pilot shard: chunk 0 runs first, serially, on the original plans
+    // with the Metropolis switch armed. Rejection-rate history (and any
+    // chain it spawns) is confined to this shard, so the switch decision
+    // is identical for every num_threads.
+    uint64_t b, e;
+    chunk_range(0, &b, &e);
+    if (nchunks > 0) {
+      ChunkOutcome pilot = RunExpectationChunk(
+          &plans, expr, b, e,
+          ChunkAttemptBudget(e - b, schedule_len, /*pilot=*/true),
+          /*chunk_index=*/0, &first_collapsed);
+      PIP_RETURN_IF_ERROR(pilot.status);
+      total_attempts += pilot.attempts;
+      merged.Merge(pilot.stats);
+      collapsed = pilot.collapsed;
     }
-    result.expectation = stats.mean();
-    result.samples_used = static_cast<size_t>(stats.count());
+
+    bool chain_mode = false;
+    for (const auto& plan : plans) {
+      chain_mode = chain_mode ||
+                   (plan.touches_target && plan.metropolis != nullptr);
+    }
+
+    // Later shards budget from the pilot's observed per-sample cost
+    // (deterministic — the pilot is serial), with 4x slack for
+    // variance, never below the proportional-share floor. This keeps
+    // adaptive runs over hard-but-samplable conditions (the proportional
+    // share prorates against max_samples, which adaptive runs rarely
+    // approach) from collapsing where the serial engine succeeded; the
+    // fold-side ledger still bounds the call at max_total_attempts.
+    size_t later_budget = ChunkAttemptBudget(chunk, schedule_len);
+    if (merged.count() > 0) {
+      size_t pilot_cost_per_sample =
+          total_attempts / static_cast<size_t>(merged.count());
+      later_budget = std::max(
+          later_budget,
+          std::min(options_.max_total_attempts,
+                   4 * pilot_cost_per_sample * chunk));
+    }
+
+    auto stop_now = [&]() {
+      int64_t count = merged.count();
+      if (fixed) return count >= static_cast<int64_t>(options_.fixed_samples);
+      if (count >= static_cast<int64_t>(options_.max_samples)) return true;
+      if (count < static_cast<int64_t>(options_.min_samples)) return false;
+      double mean = std::fabs(merged.mean());
+      double half_width = z * merged.standard_error();
+      return half_width <= options_.delta * std::max(mean, 1e-9);
+    };
+
+    Status chunk_error = Status::OK();
+    if (!collapsed && nchunks > 1 && !stop_now()) {
+      if (chain_mode) {
+        // A Metropolis chain is inherently sequential: finish the
+        // remaining chunks serially on the original plans. Still
+        // deterministic — this path never forks, whatever num_threads is.
+        for (size_t c = 1; c < nchunks && !collapsed; ++c) {
+          chunk_range(c, &b, &e);
+          ChunkOutcome o = RunExpectationChunk(&plans, expr, b, e,
+                                               later_budget, c,
+                                               &first_collapsed);
+          PIP_RETURN_IF_ERROR(o.status);
+          total_attempts += o.attempts;
+          merged.Merge(o.stats);
+          collapsed = o.collapsed || total_attempts > options_.max_total_attempts;
+          if (stop_now()) break;
+        }
+      } else {
+        // Parallel shards, dispatched in waves with the stopping rule,
+        // the budget ledger and collapse all evaluated in chunk order at
+        // each barrier; chunks computed past the stopping point are
+        // discarded, so the accepted index set matches a serial run.
+        // The ledger is what makes max_total_attempts a real per-call
+        // bound again: shard floors let individual chunks over-spend
+        // their proportional share, but the fold trips the collapse as
+        // soon as the folded shards exceed the configured budget — at a
+        // deterministic chunk index, independent of thread count.
+        RunChunkedWaves<ChunkOutcome>(
+            schedule_len, chunk, /*start_chunk=*/1, /*wave_limited=*/true,
+            options_.num_threads,
+            [&](size_t c, uint64_t wb, uint64_t we, ChunkOutcome* out) {
+              std::vector<GroupPlan> clones;
+              clones.reserve(plans.size());
+              for (const auto& p : plans) {
+                clones.push_back(p.CloneForChunk(c));
+              }
+              *out = RunExpectationChunk(&clones, expr, wb, we, later_budget,
+                                         c, &first_collapsed);
+            },
+            [&](size_t, ChunkOutcome& o) {
+              if (!o.status.ok()) {
+                chunk_error = o.status;
+                return false;
+              }
+              total_attempts += o.attempts;
+              merged.Merge(o.stats);
+              for (size_t g = 0; g < plans.size(); ++g) {
+                plans[g].accepted += o.group_accepted[g];
+                plans[g].attempts += o.group_attempts[g];
+              }
+              if (o.collapsed ||
+                  total_attempts > options_.max_total_attempts) {
+                collapsed = true;
+                return false;
+              }
+              return !stop_now();
+            });
+        PIP_RETURN_IF_ERROR(chunk_error);
+      }
+    }
+
+    if (collapsed) {
+      // Sampling budget collapsed: the condition region is effectively
+      // unreachable. Per the paper, report NAN.
+      result.expectation = kNan;
+      result.probability = 0.0;
+      result.attempts = total_attempts;
+      return result;
+    }
+    result.expectation = merged.mean();
+    result.samples_used = static_cast<size_t>(merged.count());
+    sampled = merged.count() > 0;
   }
 
   // ---- Probability of the full condition. ----
@@ -754,7 +1200,9 @@ StatusOr<double> SamplingEngine::JointConfidence(
 
   if (live.size() <= 6) {
     // Inclusion-exclusion over conjunction probabilities; each conjunction
-    // gets the full per-group treatment (often exact via CDFs).
+    // gets the full per-group treatment (often exact via CDFs). The
+    // conjunctions of one disjunct set recombine the same atom shapes, so
+    // the plan-shape cache amortizes their planning passes.
     double total = 0.0;
     size_t n = live.size();
     for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
@@ -770,7 +1218,10 @@ StatusOr<double> SamplingEngine::JointConfidence(
     return std::min(1.0, std::max(0.0, total));
   }
 
-  // Many disjuncts: joint Monte Carlo over the union of variables.
+  // Many disjuncts: joint Monte Carlo over the union of variables,
+  // sharded over the sample-index space like the expectation loop (each
+  // world is a pure function of its index; hit counts fold in chunk
+  // order; the adaptive stop is checked at chunk barriers only).
   VarSet all_vars;
   for (const auto* d : live) d->CollectVariables(&all_vars);
   std::vector<uint64_t> ids;
@@ -778,38 +1229,72 @@ StatusOr<double> SamplingEngine::JointConfidence(
     if (ids.empty() || ids.back() != v.var_id) ids.push_back(v.var_id);
   }
   const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
-  size_t n = 0, hits = 0;
-  std::vector<double> joint;
-  Assignment a;
+  constexpr uint64_t kAconfMarker = 0xAC0FULL << 32;
+  const bool adaptive = options_.fixed_samples == 0;
   size_t cap = options_.fixed_samples > 0 ? options_.fixed_samples
                                           : options_.max_samples;
-  constexpr uint64_t kAconfMarker = 0xAC0FULL << 32;
-  while (n < cap) {
-    uint64_t sample_index = options_.sample_offset + n;
-    for (uint64_t id : ids) {
-      PIP_RETURN_IF_ERROR(
-          pool_->GenerateJoint(id, sample_index, kAconfMarker, &joint));
-      for (uint32_t comp = 0; comp < joint.size(); ++comp) {
-        a.Set(VarRef{id, comp}, joint[comp]);
+  const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
+
+  struct HitChunk {
+    size_t n = 0, hits = 0;
+    Status status = Status::OK();
+  };
+  auto run_chunk = [&](uint64_t begin, uint64_t end, HitChunk* out) {
+    std::vector<double> joint;
+    Assignment a;
+    for (uint64_t idx = begin; idx < end; ++idx) {
+      uint64_t sample_index = options_.sample_offset + idx;
+      for (uint64_t id : ids) {
+        Status s = pool_->GenerateJoint(id, sample_index, kAconfMarker,
+                                        &joint);
+        if (!s.ok()) {
+          out->status = s;
+          return;
+        }
+        for (uint32_t comp = 0; comp < joint.size(); ++comp) {
+          a.Set(VarRef{id, comp}, joint[comp]);
+        }
       }
-    }
-    bool any = false;
-    for (const auto* d : live) {
-      PIP_ASSIGN_OR_RETURN(bool t, d->Eval(a));
-      if (t) {
-        any = true;
-        break;
+      bool any = false;
+      for (const auto* d : live) {
+        auto t = d->Eval(a);
+        if (!t.ok()) {
+          out->status = t.status();
+          return;
+        }
+        if (t.value()) {
+          any = true;
+          break;
+        }
       }
+      ++out->n;
+      if (any) ++out->hits;
     }
-    ++n;
-    if (any) ++hits;
-    if (n >= options_.min_samples && options_.fixed_samples == 0) {
-      double p = static_cast<double>(hits) / static_cast<double>(n);
-      double half_width = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
-                                        static_cast<double>(n));
-      if (half_width <= options_.delta * std::max(p, 0.01)) break;
-    }
-  }
+  };
+
+  size_t n = 0, hits = 0;
+  Status chunk_error = Status::OK();
+  RunChunkedWaves<HitChunk>(
+      cap, chunk, /*start_chunk=*/0, adaptive, options_.num_threads,
+      [&](size_t, uint64_t begin, uint64_t end, HitChunk* out) {
+        run_chunk(begin, end, out);
+      },
+      [&](size_t, HitChunk& o) {
+        if (!o.status.ok()) {
+          chunk_error = o.status;
+          return false;
+        }
+        n += o.n;
+        hits += o.hits;
+        if (adaptive && n >= options_.min_samples) {
+          double p = static_cast<double>(hits) / static_cast<double>(n);
+          double half_width = z * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                            static_cast<double>(n));
+          if (half_width <= options_.delta * std::max(p, 0.01)) return false;
+        }
+        return true;
+      });
+  PIP_RETURN_IF_ERROR(chunk_error);
   return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
 }
 
@@ -821,28 +1306,140 @@ StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
   bool inconsistent = false;
   PIP_ASSIGN_OR_RETURN(std::vector<GroupPlan> plans,
                        PlanGroups(condition, target_vars, &inconsistent));
-  if (inconsistent) return samples;
+  if (inconsistent || n == 0) return samples;
 
-  size_t total_attempts = 0;
-  Assignment assignment;
-  samples.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    assignment.Clear();
-    bool got_all = true;
-    for (auto& plan : plans) {
-      if (!plan.touches_target) continue;
-      PIP_ASSIGN_OR_RETURN(
-          bool ok, SampleGroupOnce(&plan, options_.sample_offset + i,
-                                   &assignment, &total_attempts));
-      if (!ok) {
-        got_all = false;
-        break;
+  const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
+  const size_t nchunks = NumChunks(n, chunk);
+  samples.assign(n, 0.0);
+
+  struct CondChunk {
+    size_t produced = 0;
+    size_t attempts = 0;
+    Status status = Status::OK();
+  };
+  // Index of the first chunk whose budget genuinely collapsed
+  // (deterministic per chunk). Chunks strictly after it abort early —
+  // the fold truncates the result before them anyway, so the visible
+  // prefix stays bit-identical while total work stays bounded. (Unlike
+  // the expectation loop, a plain "someone collapsed" flag would be
+  // wrong here: an *earlier* chunk aborting would shorten the prefix.)
+  std::atomic<uint64_t> first_truncated{UINT64_MAX};
+  // Writes values for indices [begin, end) into their slots; stops early
+  // on budget collapse (producing a prefix) or error.
+  auto run_chunk = [&](std::vector<GroupPlan>* ps, size_t chunk_index,
+                       uint64_t begin, uint64_t end, size_t budget,
+                       CondChunk* out) {
+    Assignment assignment;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (first_truncated.load(std::memory_order_relaxed) < chunk_index) {
+        return;  // Discarded by the fold; stop burning budget.
       }
+      assignment.Clear();
+      bool got_all = true;
+      for (auto& plan : *ps) {
+        if (!plan.touches_target) continue;
+        auto ok = SampleGroupOnce(&plan, options_.sample_offset + i,
+                                  &assignment, &out->attempts, budget);
+        if (!ok.ok()) {
+          out->status = ok.status();
+          return;
+        }
+        if (!ok.value()) {
+          got_all = false;
+          break;
+        }
+      }
+      if (!got_all) {
+        uint64_t cur = first_truncated.load(std::memory_order_relaxed);
+        while (chunk_index < cur &&
+               !first_truncated.compare_exchange_weak(
+                   cur, chunk_index, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+      auto value = expr->EvalDouble(assignment);
+      if (!value.ok()) {
+        out->status = value.status();
+        return;
+      }
+      samples[i] = value.value();
+      ++out->produced;
     }
-    if (!got_all) break;
-    PIP_ASSIGN_OR_RETURN(double value, expr->EvalDouble(assignment));
-    samples.push_back(value);
+  };
+
+  // Pilot shard (Metropolis decision scope), then parallel remainder —
+  // same determinism schedule as the expectation loop. `ledger` folds
+  // per-chunk attempt counts in chunk order so max_total_attempts stays
+  // a deterministic per-call bound (exceeding it truncates the result
+  // exactly like a shard budget collapse).
+  CondChunk pilot;
+  run_chunk(&plans, 0, 0, std::min<uint64_t>(n, chunk),
+            ChunkAttemptBudget(std::min<size_t>(n, chunk), n, /*pilot=*/true),
+            &pilot);
+  PIP_RETURN_IF_ERROR(pilot.status);
+  size_t total = pilot.produced;
+  size_t ledger = pilot.attempts;
+  bool truncated = pilot.produced < std::min<size_t>(n, chunk) ||
+                   ledger > options_.max_total_attempts;
+
+  // Later shards budget from the pilot's observed per-sample cost (4x
+  // slack), floored at the proportional share — same rationale as the
+  // expectation loop; the ledger still bounds the call.
+  size_t later_budget = ChunkAttemptBudget(chunk, n);
+  if (pilot.produced > 0) {
+    later_budget = std::max(
+        later_budget,
+        std::min(options_.max_total_attempts,
+                 4 * (pilot.attempts / pilot.produced) * chunk));
   }
+
+  bool chain_mode = false;
+  for (const auto& plan : plans) {
+    chain_mode =
+        chain_mode || (plan.touches_target && plan.metropolis != nullptr);
+  }
+
+  if (!truncated && nchunks > 1) {
+    if (chain_mode) {
+      for (size_t c = 1; c < nchunks && !truncated; ++c) {
+        uint64_t begin = c * chunk, end = std::min<uint64_t>(n, begin + chunk);
+        CondChunk o;
+        run_chunk(&plans, c, begin, end, later_budget, &o);
+        PIP_RETURN_IF_ERROR(o.status);
+        total += o.produced;
+        ledger += o.attempts;
+        truncated = o.produced < end - begin ||
+                    ledger > options_.max_total_attempts;
+      }
+    } else {
+      Status chunk_error = Status::OK();
+      RunChunkedWaves<CondChunk>(
+          n, chunk, /*start_chunk=*/1, /*wave_limited=*/true,
+          options_.num_threads,
+          [&](size_t c, uint64_t begin, uint64_t end, CondChunk* out) {
+            std::vector<GroupPlan> clones;
+            clones.reserve(plans.size());
+            for (const auto& p : plans) clones.push_back(p.CloneForChunk(c));
+            run_chunk(&clones, c, begin, end, later_budget, out);
+          },
+          [&](size_t c, CondChunk& o) {
+            if (!o.status.ok()) {
+              chunk_error = o.status;
+              return false;
+            }
+            total += o.produced;
+            ledger += o.attempts;
+            uint64_t begin = c * chunk;
+            uint64_t end = std::min<uint64_t>(n, begin + chunk);
+            truncated = o.produced < end - begin ||
+                        ledger > options_.max_total_attempts;
+            return !truncated;
+          });
+      PIP_RETURN_IF_ERROR(chunk_error);
+    }
+  }
+
+  samples.resize(total);
   return samples;
 }
 

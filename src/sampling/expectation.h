@@ -20,6 +20,7 @@
 #ifndef PIP_SAMPLING_EXPECTATION_H_
 #define PIP_SAMPLING_EXPECTATION_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "src/dist/variable_pool.h"
 #include "src/expr/condition.h"
 #include "src/expr/expr.h"
+#include "src/sampling/plan_cache.h"
 
 namespace pip {
 
@@ -46,13 +48,33 @@ struct SamplingOptions {
   size_t fixed_samples = 0;
   size_t min_samples = 32;
   size_t max_samples = 200000;
-  /// Overall rejection-attempt budget per expectation call; exceeded means
-  /// the condition is effectively unsatisfiable for the sampler.
+  /// Rejection-attempt budget of one expectation call; exceeded means
+  /// the condition is effectively unsatisfiable for the sampler. Under
+  /// parallel sharding this is enforced deterministically at two
+  /// levels: each shard gets a proportional share (with a floor — see
+  /// ChunkAttemptBudget) bounding any single shard, and a ledger folded
+  /// in chunk order trips the collapse once the call's accepted shards
+  /// exceed the budget — so the visible (NAN, 0) is bit-identical
+  /// across thread counts and total work stays within this budget plus
+  /// one in-flight wave of shard floors.
   size_t max_total_attempts = 20000000;
 
   /// Offsets the deterministic sample index space; distinct offsets give
   /// statistically fresh (but still replayable) runs, e.g. across trials.
   uint64_t sample_offset = 0;
+
+  /// Worker threads for the sampling loops. 0 means "hardware
+  /// concurrency" (the default); 1 forces inline serial execution. The
+  /// sample-index space is sharded into contiguous chunks whose schedule
+  /// depends only on `chunk_samples`, and per-chunk results fold in chunk
+  /// order, so results are bit-identical across num_threads values (see
+  /// README "Threading model").
+  size_t num_threads = 0;
+  /// Samples per shard chunk. Part of the determinism contract: the
+  /// chunk schedule (and hence the merge tree, the adaptive stopping
+  /// barriers, and the per-chunk Metropolis scope) is a pure function of
+  /// this value — never of num_threads.
+  size_t chunk_samples = 64;
 
   // -- Optimization toggles (§IV-A), default on; benches ablate them. ----
   bool use_exact_cdf = true;       ///< Exact single-variable CDF integration.
@@ -99,11 +121,18 @@ class SamplingEngine {
  public:
   explicit SamplingEngine(const VariablePool* pool,
                           SamplingOptions options = {})
-      : pool_(pool), options_(options) {}
+      : pool_(pool),
+        options_(options),
+        plan_cache_(std::make_shared<PlanCache>()) {}
 
   const SamplingOptions& options() const { return options_; }
   SamplingOptions* mutable_options() { return &options_; }
   const VariablePool& pool() const { return *pool_; }
+
+  /// Hit/miss counters of the shared plan-shape cache (copies of one
+  /// engine share the cache, so Analyze-style row batches amortize
+  /// planning across rows).
+  PlanCache::Stats plan_cache_stats() const { return plan_cache_->stats(); }
 
   /// expectation(): E[expr | condition], optionally with P[condition]
   /// (Alg. 4.3's getP). Deterministic expressions short-circuit.
@@ -130,9 +159,11 @@ class SamplingEngine {
 
  private:
   struct GroupPlan;
+  struct ChunkOutcome;
 
   /// Builds per-group strategy plans. Sets *inconsistent when the
-  /// condition is unsatisfiable.
+  /// condition is unsatisfiable. Structure-only planning decisions come
+  /// from the shape cache when possible.
   StatusOr<std::vector<GroupPlan>> PlanGroups(const Condition& condition,
                                               const VarSet& target_vars,
                                               bool* inconsistent) const;
@@ -140,9 +171,35 @@ class SamplingEngine {
   /// Samples one accepted joint draw for a group. Returns false when the
   /// attempt budget collapsed without acceptance (caller decides whether
   /// that means "unsatisfiable" or "switch to Metropolis").
+  /// `attempt_budget` bounds *total_attempts for this shard.
   StatusOr<bool> SampleGroupOnce(GroupPlan* plan, uint64_t sample_index,
                                  Assignment* assignment,
-                                 size_t* total_attempts) const;
+                                 size_t* total_attempts,
+                                 size_t attempt_budget) const;
+
+  /// Runs the expectation sampling loop over sample indices
+  /// [begin, end) against `plans` (only target-touching groups sample),
+  /// as chunk `chunk_index` of the schedule. On a genuine budget
+  /// collapse the chunk lowers *first_collapsed to its own index;
+  /// chunks strictly after the recorded index abort early (their
+  /// outcomes are discarded by the in-order fold, so the abort never
+  /// shows in results — see SampleConditional for why a plain boolean
+  /// flag would not be order-safe).
+  ChunkOutcome RunExpectationChunk(std::vector<GroupPlan>* plans,
+                                   const ExprPtr& expr, uint64_t begin,
+                                   uint64_t end, size_t attempt_budget,
+                                   size_t chunk_index,
+                                   std::atomic<uint64_t>* first_collapsed)
+      const;
+
+  /// Attempt budget for one shard of `chunk_len` samples out of a
+  /// schedule of `schedule_len`. The pilot shard (chunk 0) gets the full
+  /// max_total_attempts so hard-but-satisfiable conditions keep the
+  /// serial engine's spurious-collapse threshold; later shards get a
+  /// proportional share with a floor, and the fold-side ledger bounds
+  /// their sum.
+  size_t ChunkAttemptBudget(size_t chunk_len, size_t schedule_len,
+                            bool pilot = false) const;
 
   /// Exact probability of a single-variable interval-constrained group.
   StatusOr<double> ExactGroupProbability(const GroupPlan& plan) const;
@@ -158,6 +215,8 @@ class SamplingEngine {
 
   const VariablePool* pool_;
   SamplingOptions options_;
+  /// Shared (and internally synchronized) across engine copies.
+  std::shared_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace pip

@@ -1,0 +1,88 @@
+/// \file plan_cache.h
+/// \brief Shape-keyed cache of sampling-plan skeletons.
+///
+/// Rows produced by one query share the *shape* of their conditions — the
+/// same atoms structurally, over fresh per-row variables of the same
+/// distribution classes, with different constants. Everything PlanGroups
+/// derives from structure alone is identical across such rows:
+///   * the minimal independent subsets (PartitionIndependent is a pure
+///     function of the variable-sharing pattern),
+///   * which groups qualify for exact CDF integration (atom shapes plus
+///     class capabilities),
+///   * which groups touch the target expression.
+/// The cache memoizes exactly that as a PlanSkeleton; per-row work
+/// (consistency bounds, CDF window endpoints, exact probabilities, which
+/// all depend on the constants and parameters) stays in PlanGroups. This
+/// is how Analyze / AnalyzeJointConfidence batch rows sharing a shape and
+/// pay the planning pass once (ROADMAP "Batching" item).
+///
+/// Keys abstract constants to their Value type and variables to
+/// (canonical id, component, distribution class); the canonical id
+/// numbering follows first appearance so the key also encodes which atoms
+/// share variables. Engine flags that change planning decisions
+/// (use_independence, use_exact_cdf, use_cdf_sampling) are folded into
+/// the key so one cache serves reconfigured engine copies safely.
+
+#ifndef PIP_SAMPLING_PLAN_CACHE_H_
+#define PIP_SAMPLING_PLAN_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dist/variable_pool.h"
+#include "src/expr/condition.h"
+
+namespace pip {
+
+/// \brief The structure-only part of a group plan.
+struct PlanSkeleton {
+  struct Group {
+    /// Indices into the canonical variable order returned by ShapeKey;
+    /// instantiation maps them back to the row's actual VarRefs.
+    std::vector<size_t> var_slots;
+    std::vector<size_t> atom_indices;
+    bool touches_target = false;
+    /// Shape-level exact-CDF eligibility (single variable, all atoms
+    /// var-vs-numeric-const, PMF present when equality atoms occur).
+    bool exact_eligible = false;
+  };
+  std::vector<Group> groups;
+};
+
+/// \brief Thread-safe skeleton cache, shared by copies of one engine.
+class PlanCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  /// Builds the canonical shape key of (condition, target_vars) and
+  /// appends the distinct VarRefs in canonical slot order to *canon_vars
+  /// (cleared first). `flag_bits` folds planning-relevant engine options
+  /// into the key.
+  static std::string ShapeKey(const Condition& condition,
+                              const VarSet& target_vars,
+                              const VariablePool& pool, uint32_t flag_bits,
+                              std::vector<VarRef>* canon_vars);
+
+  /// Cached skeleton for `key`, or nullptr (counts a hit/miss).
+  std::shared_ptr<const PlanSkeleton> Lookup(const std::string& key);
+
+  void Insert(const std::string& key,
+              std::shared_ptr<const PlanSkeleton> skeleton);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const PlanSkeleton>> map_;
+  Stats stats_;
+};
+
+}  // namespace pip
+
+#endif  // PIP_SAMPLING_PLAN_CACHE_H_

@@ -63,14 +63,17 @@ struct Target {
 /// Recursive-descent parser for one statement.
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, Database* db, SamplingOptions options)
+  /// `options` points at the session's live options so SET persists
+  /// across statements.
+  Parser(std::vector<Token> tokens, Database* db, SamplingOptions* options)
       : tokens_(std::move(tokens)), db_(db), options_(options) {}
 
   StatusOr<SqlResult> ParseStatement() {
     if (Peek().Is("CREATE")) return ParseCreateTable();
     if (Peek().Is("INSERT")) return ParseInsert();
     if (Peek().Is("SELECT")) return ParseSelect();
-    return Error("expected CREATE, INSERT or SELECT");
+    if (Peek().Is("SET")) return ParseSet();
+    return Error("expected CREATE, INSERT, SELECT or SET");
   }
 
  private:
@@ -267,6 +270,55 @@ class Parser {
 
   // -- Statements ---------------------------------------------------------
 
+  /// SET knob = value: tunes the session's sampling options (the paper's
+  /// engine knobs surfaced at the SQL layer, PostgreSQL-GUC style).
+  StatusOr<SqlResult> ParseSet() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    PIP_ASSIGN_OR_RETURN(std::string knob, ExpectIdent());
+    PIP_RETURN_IF_ERROR(ExpectSymbol("="));
+    if (Peek().kind != TokenKind::kNumber) return Error("expected a number");
+    double value = Advance().number;
+    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+
+    std::string upper = ToUpper(knob);
+    auto as_count = [&]() -> StatusOr<size_t> {
+      if (value < 0 || value != std::floor(value)) {
+        return Status::InvalidArgument(
+            "SET " + upper + " expects a non-negative integer");
+      }
+      return static_cast<size_t>(value);
+    };
+    if (upper == "NUM_THREADS") {
+      PIP_ASSIGN_OR_RETURN(options_->num_threads, as_count());
+    } else if (upper == "FIXED_SAMPLES") {
+      PIP_ASSIGN_OR_RETURN(options_->fixed_samples, as_count());
+    } else if (upper == "MIN_SAMPLES") {
+      PIP_ASSIGN_OR_RETURN(options_->min_samples, as_count());
+    } else if (upper == "MAX_SAMPLES") {
+      PIP_ASSIGN_OR_RETURN(options_->max_samples, as_count());
+    } else if (upper == "SAMPLE_OFFSET") {
+      PIP_ASSIGN_OR_RETURN(size_t offset, as_count());
+      options_->sample_offset = offset;
+    } else if (upper == "EPSILON") {
+      // (1 - epsilon) feeds ErfInv; outside (0, 1) the stopping rule
+      // degenerates (negative or NaN z).
+      if (!(value > 0.0 && value < 1.0)) {
+        return Status::InvalidArgument("SET EPSILON expects a value in (0, 1)");
+      }
+      options_->epsilon = value;
+    } else if (upper == "DELTA") {
+      if (!(value > 0.0)) {
+        return Status::InvalidArgument("SET DELTA expects a positive value");
+      }
+      options_->delta = value;
+    } else {
+      return Error("unknown SET knob '" + knob + "'");
+    }
+    SqlResult result;
+    result.message = "SET " + upper;
+    return result;
+  }
+
   StatusOr<SqlResult> ParseCreateTable() {
     PIP_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
     PIP_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
@@ -417,7 +469,7 @@ class Parser {
     }
 
     SqlResult result;
-    SamplingEngine engine = db_->MakeEngine(options_);
+    SamplingEngine engine = db_->MakeEngine(*options_);
 
     if (select_star || (!any_table_wide && !any_per_row)) {
       // Plain symbolic SELECT.
@@ -515,7 +567,7 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   Database* db_;
-  SamplingOptions options_;
+  SamplingOptions* options_;
   int anonymous_targets_ = 0;
 };
 
@@ -535,7 +587,7 @@ std::string SqlResult::ToString() const {
 
 StatusOr<SqlResult> Session::Execute(const std::string& statement) {
   PIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
-  Parser parser(std::move(tokens), db_, options_);
+  Parser parser(std::move(tokens), db_, &options_);
   return parser.ParseStatement();
 }
 

@@ -20,6 +20,13 @@
 ///   CREATE TABLE name (col [, col]*)
 ///   INSERT INTO name VALUES (expr, ...) [, (expr, ...)]*
 ///   SELECT targets FROM name [, name]* [WHERE conjunction]
+///   SET knob = value        -- session sampling knobs, see below
+///
+/// SET tunes the session's SamplingOptions; supported knobs are
+/// NUM_THREADS (0 = hardware concurrency), FIXED_SAMPLES, MIN_SAMPLES,
+/// MAX_SAMPLES, EPSILON, DELTA and SAMPLE_OFFSET. New sessions inherit
+/// the database's default_options(), so deployments can pin e.g. a
+/// thread budget once at the Database level.
 ///
 /// Targets: expressions with optional `AS alias`, or the aggregates
 /// expected_sum(expr) / expected_count(*) / expected_avg(expr) /
@@ -57,7 +64,9 @@ struct SqlResult {
 /// \brief Stateful SQL session against one Database.
 class Session {
  public:
-  explicit Session(Database* db, SamplingOptions options = {})
+  /// Inherits the database's default sampling options.
+  explicit Session(Database* db) : db_(db), options_(db->default_options()) {}
+  Session(Database* db, SamplingOptions options)
       : db_(db), options_(options) {}
 
   /// Parses and executes one statement (trailing ';' optional).

@@ -1,0 +1,543 @@
+/// \file parallel_sampling_test.cc
+/// \brief The parallel sampling engine's determinism contract, the
+/// RunningStats merge, the plan-shape cache, and the per-plan
+/// memoization of distribution tables.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "src/common/running_stats.h"
+#include "src/common/thread_pool.h"
+#include "src/engine/database.h"
+#include "src/sql/session.h"
+
+namespace pip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryChunkOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ThreadPool::For(hits.size(), 8, [&](size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrentlyWithCaller) {
+  // Chunk 0 spins until chunk 1 runs: completes only if two executors
+  // make progress concurrently (OS timeslicing suffices — this holds
+  // even on a single hardware core, unlike a wall-clock speedup test).
+  std::atomic<bool> other_ran{false};
+  ThreadPool::For(2, 2, [&](size_t i) {
+    if (i == 1) {
+      other_ran = true;
+    } else {
+      while (!other_ran) std::this_thread::yield();
+    }
+  });
+  EXPECT_TRUE(other_ran.load());
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  std::vector<int> order;
+  ThreadPool::For(5, 1, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats::Merge
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatsMergeTest, MergeMatchesSequentialAccumulation) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = std::sin(0.1 * i) * 3.0 + 0.5 * i;
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12 * std::fabs(all.mean()));
+  EXPECT_NEAR(left.variance(), all.variance(),
+              1e-10 * std::fabs(all.variance()));
+}
+
+TEST(RunningStatsMergeTest, StableForTinyMeans) {
+  // The regime of workload_test's SampleFirstHasVisibleError: estimating
+  // a ~1e-3 probability from indicator samples. The merged moments must
+  // agree with a direct two-pass computation to near machine precision.
+  const double p = 1.25e-3;
+  const int n = 200000;
+  std::vector<RunningStats> shards(16);
+  RunningStats serial;
+  double sum = 0.0;
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Deterministic indicator stream with rate ~p.
+    double x = (i * 2654435761u % 1000000) < p * 1000000 ? 1.0 : 0.0;
+    xs.push_back(x);
+    serial.Add(x);
+    shards[i % 16].Add(x);
+    sum += x;
+  }
+  RunningStats merged;
+  for (auto& s : shards) merged.Merge(s);
+  double mean = sum / n;
+  double sq = 0.0;
+  for (double x : xs) sq += (x - mean) * (x - mean);
+  EXPECT_NEAR(merged.mean(), mean, 1e-15);
+  EXPECT_NEAR(serial.mean(), mean, 1e-15);
+  EXPECT_NEAR(merged.variance(), sq / n, 1e-10 * (sq / n));
+  EXPECT_EQ(merged.count(), serial.count());
+}
+
+TEST(RunningStatsMergeTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  b.Add(2.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.Merge(c);  // No-op.
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism across num_threads
+// ---------------------------------------------------------------------------
+
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  SamplingOptions ThreadedOptions(size_t threads) {
+    SamplingOptions opts;
+    opts.num_threads = threads;
+    return opts;
+  }
+
+  Database db_{777};
+};
+
+TEST_F(ParallelEngineTest, FixedSamplesExpectationBitIdentical) {
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) > Expr::Constant(0.5));
+  std::vector<ExpectationResult> results;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.fixed_samples = 1000;
+    opts.use_numeric_integration = false;  // Force the sampling path.
+    SamplingEngine engine = db_.MakeEngine(opts);
+    results.push_back(engine.Expectation(Expr::Var(x), c, true).value());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].expectation, results[0].expectation);
+    EXPECT_EQ(results[i].probability, results[0].probability);
+    EXPECT_EQ(results[i].samples_used, results[0].samples_used);
+    EXPECT_EQ(results[i].attempts, results[0].attempts);
+  }
+  EXPECT_EQ(results[0].samples_used, 1000u);
+}
+
+TEST_F(ParallelEngineTest, RejectionPathBitIdentical) {
+  // Two-variable atom: no CDF window, plain rejection over joint draws.
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  VarRef y = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) > Expr::Var(y));
+  std::vector<ExpectationResult> results;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.fixed_samples = 2000;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    results.push_back(engine.Expectation(Expr::Var(x), c, true).value());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].expectation, results[0].expectation);
+    EXPECT_EQ(results[i].probability, results[0].probability);
+    EXPECT_EQ(results[i].attempts, results[0].attempts);
+  }
+  EXPECT_NEAR(results[0].expectation, 1.0 / std::sqrt(M_PI), 0.05);
+}
+
+TEST_F(ParallelEngineTest, AdaptiveModeBitIdenticalAtChunkBarriers) {
+  // Adaptive stopping is evaluated at chunk barriers only, so serial and
+  // parallel runs accept the same index set — results are bit-identical,
+  // not merely statistically consistent.
+  VarRef x = db_.CreateVariable("Normal", {50.0, 4.0}).value();
+  std::vector<ExpectationResult> results;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.use_numeric_integration = false;
+    opts.delta = 0.005;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    results.push_back(
+        engine.Expectation(Expr::Var(x), Condition::True(), false).value());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].expectation, results[0].expectation);
+    EXPECT_EQ(results[i].samples_used, results[0].samples_used);
+  }
+  EXPECT_GT(results[0].samples_used, 0u);
+  EXPECT_NEAR(results[0].expectation, 50.0, 1.0);
+}
+
+TEST_F(ParallelEngineTest, ConfidenceBitIdentical) {
+  // A two-variable atom sends the group through the Monte Carlo
+  // probability estimator (no exact CDF, no free acceptance rate).
+  VarRef x = db_.CreateVariable("Uniform", {0.0, 1.0}).value();
+  VarRef y = db_.CreateVariable("Uniform", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) + Expr::Var(y) < Expr::Constant(1.0));
+  std::vector<double> probs;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.fixed_samples = 4000;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    probs.push_back(engine.Confidence(c).value().probability);
+  }
+  EXPECT_EQ(probs[1], probs[0]);
+  EXPECT_EQ(probs[2], probs[0]);
+  EXPECT_NEAR(probs[0], 0.5, 0.05);
+}
+
+TEST_F(ParallelEngineTest, SampleConditionalBitIdentical) {
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c;
+  c.AddAtom(Expr::Var(x) > Expr::Constant(0.25));
+  c.AddAtom(Expr::Var(x) < Expr::Constant(2.0));
+  std::vector<std::vector<double>> draws;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    SamplingEngine engine = db_.MakeEngine(opts);
+    draws.push_back(
+        engine.SampleConditional(Expr::Var(x), c, 999).value());
+  }
+  ASSERT_EQ(draws[0].size(), 999u);
+  EXPECT_EQ(draws[1], draws[0]);
+  EXPECT_EQ(draws[2], draws[0]);
+  for (double v : draws[0]) {
+    EXPECT_GT(v, 0.25);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST_F(ParallelEngineTest, JointConfidenceMonteCarloBitIdentical) {
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  std::vector<Condition> disjuncts;
+  for (int k = 0; k < 8; ++k) {
+    disjuncts.emplace_back(Expr::Var(x) >
+                           Expr::Constant(static_cast<double>(k)));
+  }
+  std::vector<double> probs;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.fixed_samples = 20000;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    probs.push_back(engine.JointConfidence(disjuncts).value());
+  }
+  EXPECT_EQ(probs[1], probs[0]);
+  EXPECT_EQ(probs[2], probs[0]);
+  EXPECT_NEAR(probs[0], 0.5, 0.02);
+}
+
+TEST_F(ParallelEngineTest, MetropolisPathDeterministicAcrossThreads) {
+  // A forced Metropolis switch flips the pilot shard into chain mode;
+  // the remaining chunks then run serially on the chain, so the result
+  // is identical for every num_threads by construction. (Threshold and
+  // check window are forced low to make the switch seed-robust.)
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  VarRef y = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) - Expr::Var(y) > Expr::Constant(4.0));
+  std::vector<ExpectationResult> results;
+  for (size_t threads : {1, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.fixed_samples = 1500;
+    opts.metropolis_threshold = 0.5;
+    opts.metropolis_check_after = 64;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    results.push_back(
+        engine.Expectation(Expr::Var(x) - Expr::Var(y), c, false).value());
+  }
+  EXPECT_EQ(results[1].expectation, results[0].expectation);
+  EXPECT_EQ(results[0].samples_used, 1500u);
+  // E[X - Y | X - Y > 4] for N(0, sqrt(2)) is ~4.45.
+  EXPECT_GT(results[0].expectation, 4.0);
+  EXPECT_LT(results[0].expectation, 5.0);
+}
+
+TEST_F(ParallelEngineTest, BudgetCollapseYieldsNanAtEveryThreadCount) {
+  // Effectively unsatisfiable without Metropolis: every shard's budget
+  // collapses, the first collapse cancels the rest, and the visible
+  // result is the paper's (NAN, 0) regardless of num_threads.
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  VarRef y = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) - Expr::Var(y) > Expr::Constant(14.0));
+  for (size_t threads : {1, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.fixed_samples = 300;  // Several chunks.
+    opts.use_metropolis = false;
+    opts.max_total_attempts = 200000;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    auto r = engine.Expectation(Expr::Var(x), c, true).value();
+    EXPECT_TRUE(std::isnan(r.expectation)) << "threads=" << threads;
+    EXPECT_EQ(r.probability, 0.0);
+  }
+}
+
+TEST_F(ParallelEngineTest, ParallelAggregatesMatchSerial) {
+  // ExpectedMax over probabilistic cells goes through the
+  // world-instantiated path, whose world space is sharded too.
+  CTable table(Schema({"v"}));
+  for (int i = 0; i < 20; ++i) {
+    VarRef x =
+        db_.CreateVariable("Normal", {static_cast<double>(i), 1.0}).value();
+    ASSERT_TRUE(table.Append({Expr::Var(x)}).ok());
+  }
+  std::vector<double> maxima;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    SamplingEngine engine = db_.MakeEngine(opts);
+    AggregateEvaluator agg(&engine);
+    maxima.push_back(agg.ExpectedMax(table, "v").value());
+  }
+  EXPECT_EQ(maxima[1], maxima[0]);
+  EXPECT_EQ(maxima[2], maxima[0]);
+  EXPECT_NEAR(maxima[0], 19.0, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-shape cache
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelEngineTest, PlanCacheHitsAcrossRowsSharingAShape) {
+  SamplingOptions opts;
+  opts.fixed_samples = 64;
+  SamplingEngine engine = db_.MakeEngine(opts);
+  // 10 "rows": same condition shape (fresh Normal > constant), distinct
+  // variables and constants.
+  for (int i = 0; i < 10; ++i) {
+    VarRef x =
+        db_.CreateVariable("Normal", {0.0, 1.0 + 0.1 * i}).value();
+    Condition c(Expr::Var(x) > Expr::Constant(0.1 * i));
+    ASSERT_TRUE(engine.Expectation(Expr::Var(x), c, true).ok());
+  }
+  PlanCache::Stats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.hits, 9u);
+}
+
+TEST_F(ParallelEngineTest, PlanCacheDistinguishesShapes) {
+  SamplingOptions opts;
+  opts.fixed_samples = 64;
+  SamplingEngine engine = db_.MakeEngine(opts);
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  VarRef u = db_.CreateVariable("Uniform", {0.0, 1.0}).value();
+  // Different atom operator, different class, different variable-sharing
+  // pattern: all distinct shapes.
+  ASSERT_TRUE(engine
+                  .Expectation(Expr::Var(x),
+                               Condition(Expr::Var(x) > Expr::Constant(0.0)),
+                               false)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Expectation(Expr::Var(x),
+                               Condition(Expr::Var(x) < Expr::Constant(0.0)),
+                               false)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Expectation(Expr::Var(u),
+                               Condition(Expr::Var(u) > Expr::Constant(0.5)),
+                               false)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .Expectation(Expr::Var(x),
+                               Condition(Expr::Var(x) > Expr::Var(u)), false)
+                  .ok());
+  EXPECT_EQ(engine.plan_cache_stats().misses, 4u);
+}
+
+TEST_F(ParallelEngineTest, CachedPlansProduceIdenticalResults) {
+  VarRef x = db_.CreateVariable("Normal", {1.0, 2.0}).value();
+  Condition c(Expr::Var(x) > Expr::Constant(0.5));
+  SamplingOptions opts;
+  opts.fixed_samples = 500;
+  opts.use_numeric_integration = false;
+  // Fresh engine (cold cache) vs an engine that planned this shape
+  // before: same bits.
+  SamplingEngine cold = db_.MakeEngine(opts);
+  SamplingEngine warm = db_.MakeEngine(opts);
+  auto warmup = warm.Expectation(Expr::Var(x), c, true).value();
+  auto from_cold = cold.Expectation(Expr::Var(x), c, true).value();
+  auto from_warm = warm.Expectation(Expr::Var(x), c, true).value();
+  EXPECT_EQ(from_warm.expectation, from_cold.expectation);
+  EXPECT_EQ(from_warm.probability, from_cold.probability);
+  EXPECT_EQ(warmup.expectation, from_warm.expectation);
+  EXPECT_GE(warm.plan_cache_stats().hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-plan memoization micro-test (one computation per plan, not per
+// attempt)
+// ---------------------------------------------------------------------------
+
+/// A finite discrete law (values 0..3, uniform) that counts every
+/// capability call, so tests can prove the engine touches the
+/// distribution O(domain) times per *plan* instead of per attempt.
+class CountingDist : public Distribution {
+ public:
+  static std::atomic<size_t> pdf_calls, cdf_calls, inverse_cdf_calls,
+      domain_calls;
+
+  static void ResetCounters() {
+    pdf_calls = cdf_calls = inverse_cdf_calls = domain_calls = 0;
+  }
+
+  const std::string& name() const override {
+    static const std::string n = "CountingUniform4";
+    return n;
+  }
+  DomainKind domain() const override { return DomainKind::kDiscrete; }
+  uint32_t Capabilities() const override {
+    return kGenerate | kPdf | kCdf | kInverseCdf | kFiniteDomain;
+  }
+  Status ValidateParams(const std::vector<double>& p) const override {
+    return p.empty() ? Status::OK()
+                     : Status::InvalidArgument(name() + ": no parameters");
+  }
+  Status GenerateJoint(const std::vector<double>&, const SampleContext& ctx,
+                       std::vector<double>* out) const override {
+    RandomStream stream = ctx.StreamFor(0);
+    out->assign(1, std::floor(stream.NextUniform() * 4.0));
+    return Status::OK();
+  }
+  StatusOr<double> Pdf(const std::vector<double>&, uint32_t,
+                       double x) const override {
+    ++pdf_calls;
+    return (x == std::floor(x) && x >= 0.0 && x <= 3.0) ? 0.25 : 0.0;
+  }
+  StatusOr<double> Cdf(const std::vector<double>&, uint32_t,
+                       double x) const override {
+    ++cdf_calls;
+    if (x < 0.0) return 0.0;
+    return std::min(1.0, (std::floor(x) + 1.0) * 0.25);
+  }
+  StatusOr<double> InverseCdf(const std::vector<double>&, uint32_t,
+                              double q) const override {
+    ++inverse_cdf_calls;
+    return std::min(3.0, std::max(0.0, std::ceil(q * 4.0) - 1.0));
+  }
+  StatusOr<std::vector<double>> DomainValues(
+      const std::vector<double>&) const override {
+    ++domain_calls;
+    return std::vector<double>{0.0, 1.0, 2.0, 3.0};
+  }
+  StatusOr<size_t> DomainSize(const std::vector<double>&) const override {
+    return 4;
+  }
+  Interval Support(const std::vector<double>&, uint32_t) const override {
+    return Interval(0.0, 3.0);
+  }
+};
+
+std::atomic<size_t> CountingDist::pdf_calls{0};
+std::atomic<size_t> CountingDist::cdf_calls{0};
+std::atomic<size_t> CountingDist::inverse_cdf_calls{0};
+std::atomic<size_t> CountingDist::domain_calls{0};
+
+TEST_F(ParallelEngineTest, QuantileTableBuiltOncePerPlanNotPerAttempt) {
+  auto status =
+      DistributionRegistry::Global().Register(std::make_unique<CountingDist>());
+  // AlreadyExists is fine when multiple tests in this binary register it.
+  ASSERT_TRUE(status.ok() || status.code() == StatusCode::kAlreadyExists);
+
+  VarRef x = db_.CreateVariable("CountingUniform4", {}).value();
+  Condition c(Expr::Var(x) >= Expr::Constant(1.0));
+
+  SamplingOptions opts;
+  opts.fixed_samples = 512;
+  opts.use_numeric_integration = false;  // Force the sampling loop.
+  SamplingEngine engine = db_.MakeEngine(opts);
+
+  CountingDist::ResetCounters();
+  auto r = engine.Expectation(Expr::Var(x), c, true).value();
+  EXPECT_EQ(r.samples_used, 512u);
+  EXPECT_NEAR(r.expectation, 2.0, 0.1);
+  EXPECT_EQ(r.probability, 0.75);
+
+  // One plan: the quantile table costs O(domain) Pdf calls and the
+  // window/exact-probability evaluation a handful of Cdf calls — none of
+  // them scale with the 512 samples, and the per-attempt InverseCdf is
+  // gone entirely.
+  EXPECT_EQ(CountingDist::inverse_cdf_calls.load(), 0u);
+  EXPECT_LE(CountingDist::pdf_calls.load(), 16u);
+  EXPECT_LE(CountingDist::cdf_calls.load(), 8u);
+  EXPECT_LE(CountingDist::domain_calls.load(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// num_threads plumbing: Database defaults and SQL SET
+// ---------------------------------------------------------------------------
+
+TEST(OptionsPlumbingTest, DatabaseDefaultsReachSessions) {
+  Database db(123);
+  SamplingOptions defaults;
+  defaults.num_threads = 3;
+  defaults.fixed_samples = 77;
+  db.set_default_options(defaults);
+  EXPECT_EQ(db.MakeEngine().options().num_threads, 3u);
+
+  sql::Session session(&db);
+  EXPECT_EQ(session.mutable_options()->num_threads, 3u);
+  EXPECT_EQ(session.mutable_options()->fixed_samples, 77u);
+}
+
+TEST(OptionsPlumbingTest, SqlSetUpdatesSessionOptions) {
+  Database db(123);
+  sql::Session session(&db);
+  EXPECT_TRUE(session.Execute("SET num_threads = 4").ok());
+  EXPECT_EQ(session.mutable_options()->num_threads, 4u);
+  EXPECT_TRUE(session.Execute("SET FIXED_SAMPLES = 256;").ok());
+  EXPECT_EQ(session.mutable_options()->fixed_samples, 256u);
+  EXPECT_TRUE(session.Execute("SET delta = 0.1").ok());
+  EXPECT_EQ(session.mutable_options()->delta, 0.1);
+
+  EXPECT_FALSE(session.Execute("SET nonsense = 1").ok());
+  EXPECT_FALSE(session.Execute("SET num_threads = 1.5").ok());
+  EXPECT_FALSE(session.Execute("SET num_threads = -2").ok());
+  EXPECT_FALSE(session.Execute("SET epsilon = 1.5").ok());
+  EXPECT_FALSE(session.Execute("SET epsilon = 0").ok());
+  EXPECT_FALSE(session.Execute("SET delta = -0.1").ok());
+}
+
+TEST(OptionsPlumbingTest, SqlSetThreadsKeepsQueriesDeterministic) {
+  // The same query under different SET NUM_THREADS values returns the
+  // same numbers — the knob is a throughput knob, not a semantics knob.
+  auto run = [](size_t threads) {
+    Database db(2026);
+    sql::Session session(&db);
+    PIP_CHECK(session.Execute("CREATE TABLE t (v)").ok());
+    PIP_CHECK(session.Execute("INSERT INTO t VALUES (Normal(10, 2)), "
+                              "(Normal(20, 3)), (Normal(30, 4))")
+                  .ok());
+    PIP_CHECK(session
+                  .Execute("SET num_threads = " + std::to_string(threads))
+                  .ok());
+    PIP_CHECK(session.Execute("SET fixed_samples = 500").ok());
+    auto r = session.Execute("SELECT expected_sum(v) FROM t WHERE v > 12");
+    PIP_CHECK(r.ok());
+    return r.value().table.ToString();
+  };
+  std::string serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+}  // namespace
+}  // namespace pip
