@@ -16,6 +16,7 @@
 
 #include "bench/bench_json.h"
 #include "src/common/timer.h"
+#include "src/engine/query.h"
 #include "src/workload/queries.h"
 
 namespace {
@@ -282,11 +283,85 @@ void ThreadSweep() {
   AppendBenchRecords(BenchJsonPath(), records);
 }
 
+/// Batched Analyze with the row axis as the outer parallel loop: the
+/// rows/sec figure ROADMAP's perf-trajectory item tracks for row-level
+/// scaling (per-row conditional expectations over a C-table, §IV). The
+/// output tables are bit-compared across thread counts — the row-parallel
+/// determinism contract, checked here like the query sweep above.
+void AnalyzeRowSweep() {
+  const size_t rows = SmokeMode() ? 48 : 256;
+  const size_t samples = Samples();
+  const size_t thread_counts[] = {1, 2, 8};
+
+  pip::Database db(20260730);
+  pip::CTable table((pip::Schema({"v"})));
+  for (size_t i = 0; i < rows; ++i) {
+    double mean = 10.0 + static_cast<double>(i % 17);
+    auto x = db.CreateVariable("Normal", {mean, 2.0}).value();
+    pip::Condition c(pip::Expr::Var(x) > pip::Expr::Constant(mean - 1.5));
+    PIP_CHECK(table.Append({pip::Expr::Var(x)}, c).ok());
+  }
+  pip::AnalyzeSpec spec;
+  spec.expectation_columns = {"v"};
+  spec.with_confidence = true;
+
+  std::printf("=== Analyze row sweep: %zu rows x %zu samples, row-parallel "
+              "===\n",
+              rows, samples);
+  std::printf("%8s %10s %12s\n", "threads", "wall (s)", "rows/sec");
+
+  struct SweepRun {
+    size_t threads;
+    double wall;
+    std::string output;
+  };
+  std::vector<SweepRun> runs;
+  for (size_t threads : thread_counts) {
+    SamplingOptions opts;
+    opts.fixed_samples = samples;
+    opts.num_threads = threads;
+    opts.use_numeric_integration = false;  // Keep the sampling path hot.
+    pip::SamplingEngine engine = db.MakeEngine(opts);
+    pip::WallTimer timer;
+    auto out = pip::Analyze(table, engine, spec);
+    double wall = timer.Seconds();
+    PIP_CHECK(out.ok());
+    PIP_CHECK(out.value().num_rows() == rows);
+    runs.push_back({threads, wall, out.value().ToString()});
+    std::printf("%8zu %10.3f %12.1f\n", threads, wall,
+                wall > 0 ? static_cast<double>(rows) / wall : 0.0);
+  }
+  for (const auto& run : runs) {
+    PIP_CHECK_MSG(run.output == runs[0].output,
+                  "row-parallel Analyze produced thread-count-dependent rows");
+  }
+  std::printf("bit-identical across threads: yes; rows/sec speedup "
+              "%zu->%zu threads: %.2fx\n\n",
+              runs.front().threads, runs.back().threads,
+              runs.front().wall / runs.back().wall);
+
+  std::vector<BenchRecord> records;
+  for (const auto& run : runs) {
+    BenchRecord r;
+    r.bench = "fig6_analyze_rows";
+    r.query = "analyze_batch";
+    r.threads = static_cast<double>(run.threads);
+    r.wall_seconds = run.wall;
+    r.samples = static_cast<double>(rows);
+    // For the row-parallel axis the throughput figure is rows/sec.
+    r.samples_per_sec =
+        run.wall > 0 ? static_cast<double>(rows) / run.wall : 0.0;
+    records.push_back(r);
+  }
+  AppendBenchRecords(BenchJsonPath(), records);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFigure6();
   ThreadSweep();
+  AnalyzeRowSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,81 @@
+/// \file row_parallel.h
+/// \brief The shared row-axis chunk driver: fans independent per-row
+/// work across the pool with deterministic, row-ordered semantics.
+///
+/// PIP's batch operators (Analyze, aconf(), the expected_* aggregates,
+/// grouped aggregation) evaluate many independent rows, each of which is
+/// itself a parallel sampling computation. The row dimension is the
+/// outer parallel axis: when the caller's parallelism budget allows,
+/// rows fan out across the pool and each row body runs under a budget
+/// of 1 (its sample sharding degrades to inline execution — see
+/// thread_pool.h's nesting policy); with one row or no budget the row
+/// loop runs serially and the sample axis keeps the whole budget.
+///
+/// Determinism contract: the body writes each row's outputs to
+/// pre-sized per-row slots, callers fold emitted rows in row order, and
+/// per-row engine results are bit-identical at every thread count — so
+/// a row-parallel batch is byte-identical to the serial row loop.
+/// Errors follow the same rule: statuses land in per-row slots and the
+/// first error in ROW order (not completion order) is surfaced, exactly
+/// the error a serial loop would have returned. Rows strictly after the
+/// earliest known failing row may be skipped — a serial loop never
+/// reaches them, and their outputs are discarded anyway.
+
+#ifndef PIP_COMMON_ROW_PARALLEL_H_
+#define PIP_COMMON_ROW_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+
+namespace pip {
+
+/// Runs `body(row)` for every row in [0, num_rows); body returns the
+/// row's Status and writes its outputs to per-row slots the caller
+/// pre-sized. Returns the first non-OK status in row order.
+/// `num_threads` follows the engine convention (0 = hardware
+/// concurrency) and is further clamped by the calling thread's
+/// parallelism budget.
+template <typename Body>
+Status ParallelRows(size_t num_rows, size_t num_threads, const Body& body) {
+  if (num_rows == 0) return Status::OK();
+  const size_t workers = std::min(ThreadPool::ResolveThreads(num_threads),
+                                  ThreadPool::ParallelismBudget());
+  if (num_rows == 1 || workers <= 1) {
+    // Serial row loop: nested engine calls keep the inherited budget, so
+    // the sample axis fans out instead of the row axis.
+    for (size_t row = 0; row < num_rows; ++row) {
+      PIP_RETURN_IF_ERROR(body(row));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Status> statuses(num_rows, Status::OK());
+  // Earliest row known to have failed; rows strictly after it are
+  // skipped (a serial loop would never have run them, and the caller
+  // discards every slot once an error surfaces).
+  std::atomic<size_t> first_error{num_rows};
+  ThreadPool::Shared().ParallelFor(num_rows, workers, [&](size_t row) {
+    if (first_error.load(std::memory_order_relaxed) < row) return;
+    Status s = body(row);
+    if (!s.ok()) {
+      statuses[row] = std::move(s);
+      size_t cur = first_error.load(std::memory_order_relaxed);
+      while (row < cur && !first_error.compare_exchange_weak(
+                              cur, row, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  for (size_t row = 0; row < num_rows; ++row) {
+    PIP_RETURN_IF_ERROR(statuses[row]);
+  }
+  return Status::OK();
+}
+
+}  // namespace pip
+
+#endif  // PIP_COMMON_ROW_PARALLEL_H_

@@ -1,14 +1,28 @@
 #include "src/common/thread_pool.h"
 
+#include <algorithm>
+#include <cstdint>
+
 namespace pip {
 
 namespace {
 
-/// Set while the current thread is executing a pool task; nested
-/// ParallelFor calls detect it and run inline (see header).
-thread_local bool t_inside_pool_task = false;
+/// The calling thread's parallelism budget (see header). SIZE_MAX means
+/// "outside any parallel region": unlimited. Pool tasks and ParallelFor
+/// chunk bodies run under a budget of 1 via BudgetScope, which is what
+/// makes nested parallel regions degrade to inline execution.
+thread_local size_t t_parallelism_budget = SIZE_MAX;
 
 }  // namespace
+
+size_t ThreadPool::ParallelismBudget() { return t_parallelism_budget; }
+
+ThreadPool::BudgetScope::BudgetScope(size_t budget)
+    : saved_(t_parallelism_budget) {
+  t_parallelism_budget = std::min(budget, saved_);
+}
+
+ThreadPool::BudgetScope::~BudgetScope() { t_parallelism_budget = saved_; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -79,9 +93,13 @@ bool ThreadPool::TryRunOne(size_t self) {
     }
   }
   if (!task) return false;
-  t_inside_pool_task = true;
-  task();
-  t_inside_pool_task = false;
+  {
+    // Any pool task runs with a budget of 1: a task that tries to start
+    // a parallel region of its own would block a worker on tasks no free
+    // worker may ever pick up.
+    BudgetScope nested(1);
+    task();
+  }
   return true;
 }
 
@@ -110,7 +128,11 @@ size_t ThreadPool::ResolveThreads(size_t requested) {
 void ThreadPool::ParallelFor(size_t num_chunks, size_t max_workers,
                              const std::function<void(size_t)>& fn) {
   if (num_chunks == 0) return;
-  if (max_workers <= 1 || num_chunks == 1 || t_inside_pool_task) {
+  max_workers = std::min(max_workers, t_parallelism_budget);
+  if (max_workers <= 1 || num_chunks == 1) {
+    // Degraded (serial) loops are not parallel regions: the body keeps
+    // the inherited budget, so e.g. a one-row Analyze batch still fans
+    // its per-row sample sharding across the pool.
     for (size_t i = 0; i < num_chunks; ++i) fn(i);
     return;
   }
@@ -123,6 +145,9 @@ void ThreadPool::ParallelFor(size_t num_chunks, size_t max_workers,
   };
   auto state = std::make_shared<SharedState>();
   auto drain = [state, &fn, num_chunks] {
+    // Chunk bodies hold a budget of 1 on every executor — including the
+    // calling thread below — so nested parallel regions run inline.
+    BudgetScope nested(1);
     for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
          i < num_chunks;
          i = state->next.fetch_add(1, std::memory_order_relaxed)) {

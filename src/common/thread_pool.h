@@ -1,6 +1,7 @@
 /// \file thread_pool.h
-/// \brief A small work-stealing thread pool and a deterministic
-/// parallel-for used by the sampling engine.
+/// \brief A small work-stealing thread pool, a deterministic
+/// parallel-for, and the nesting-aware parallelism budget used by the
+/// sampling engine.
 ///
 /// Determinism contract (see README "Threading model"): parallel callers
 /// never let scheduling decide *what* is computed — only *when*. Work is
@@ -9,6 +10,18 @@
 /// fold slots in chunk-index order. Which worker executes which chunk is
 /// irrelevant to the result, so `num_threads` is a throughput knob, not a
 /// semantics knob.
+///
+/// Nesting policy: parallel regions nest (a row-parallel Analyze batch
+/// dispatches per-row Expectation calls that shard their own sample
+/// space), but only the outermost region may fan out. Each thread
+/// carries an explicit parallelism budget (ParallelismBudget()); a
+/// ParallelFor clamps its worker count to that budget and executes every
+/// chunk body under a budget of 1, so nested ParallelFor calls — on pool
+/// workers *and* on the participating caller thread — degrade to inline
+/// serial execution instead of deadlocking on a saturated pool or
+/// oversubscribing the cores. Inline degradation is semantics-free by
+/// the determinism contract, so the budget, like num_threads, is a
+/// throughput knob only.
 
 #ifndef PIP_COMMON_THREAD_POOL_H_
 #define PIP_COMMON_THREAD_POOL_H_
@@ -54,6 +67,28 @@ class ThreadPool {
   /// concurrency", anything else is taken literally.
   static size_t ResolveThreads(size_t requested);
 
+  /// The calling thread's parallelism budget: the number of concurrent
+  /// executors a parallel region started here may use. Threads outside
+  /// any parallel region hold an unlimited budget; inside a ParallelFor
+  /// chunk body (or any pool task) the budget is 1, so nested parallel
+  /// regions run inline.
+  static size_t ParallelismBudget();
+
+  /// RAII token that caps the calling thread's parallelism budget for a
+  /// scope. The cap only ever shrinks (`min` with the inherited budget):
+  /// a nested scope cannot re-expand what an outer region reserved.
+  class BudgetScope {
+   public:
+    explicit BudgetScope(size_t budget);
+    ~BudgetScope();
+
+    BudgetScope(const BudgetScope&) = delete;
+    BudgetScope& operator=(const BudgetScope&) = delete;
+
+   private:
+    size_t saved_;
+  };
+
   /// Runs `fn(chunk_index)` for every chunk_index in [0, num_chunks),
   /// using up to `max_workers` concurrent executors (the calling thread
   /// participates, so at most max_workers - 1 pool tasks are enqueued).
@@ -61,9 +96,14 @@ class ThreadPool {
   /// dynamic; callers must make each chunk's work independent of the
   /// others (write to disjoint slots, fold afterwards).
   ///
-  /// Reentrancy: when called from inside a pool task (nested parallelism)
-  /// the loop degrades to inline serial execution — this keeps the pool
-  /// deadlock-free without a dependency-aware scheduler.
+  /// Reentrancy: `max_workers` is clamped to the calling thread's
+  /// ParallelismBudget(), and chunk bodies run under a budget of 1, so a
+  /// nested ParallelFor degrades to inline serial execution — this keeps
+  /// the pool deadlock-free without a dependency-aware scheduler while
+  /// letting the outermost region own the fan-out decision. A loop that
+  /// degrades for lack of budget does NOT reduce its callees' budget
+  /// further (it is not a parallel region), so e.g. a single-chunk
+  /// region leaves the whole budget to its body.
   void ParallelFor(size_t num_chunks, size_t max_workers,
                    const std::function<void(size_t)>& fn);
 

@@ -1,7 +1,10 @@
 #include "src/engine/query.h"
 
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
+
+#include "src/common/row_parallel.h"
 
 namespace pip {
 
@@ -235,42 +238,64 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
   if (spec.with_confidence) out_columns.push_back("conf");
 
   Table out((Schema(out_columns)));
-  for (const auto& row : table.rows()) {
-    Row result;
-    result.reserve(out_columns.size());
-    for (size_t idx : pass_idx) {
-      if (!row.cells[idx]->IsConstant()) {
-        return Status::InvalidArgument(
-            "passthrough column '" + table.schema().name(idx) +
-            "' holds a probabilistic value");
-      }
-      result.push_back(row.cells[idx]->value());
-    }
-    bool unsatisfiable = false;
-    double confidence = 1.0;
-    for (size_t i = 0; i < exp_idx.size(); ++i) {
-      PIP_ASSIGN_OR_RETURN(
-          ExpectationResult r,
-          engine.Expectation(row.cells[exp_idx[i]], row.condition,
-                             spec.with_confidence && i == 0));
-      if (std::isnan(r.expectation) && r.probability == 0.0) {
-        unsatisfiable = true;
-        break;
-      }
-      if (i == 0) confidence = r.probability;
-      result.push_back(Value(r.expectation));
-    }
-    if (unsatisfiable) continue;
-    if (spec.with_confidence) {
-      if (exp_idx.empty()) {
-        PIP_ASSIGN_OR_RETURN(ExpectationResult r,
-                             engine.Confidence(row.condition));
-        if (r.probability <= 0.0) continue;
-        confidence = r.probability;
-      }
-      result.push_back(Value(confidence));
-    }
-    PIP_RETURN_IF_ERROR(out.Append(std::move(result)));
+  // Row-parallel batch (the paper's headline Analyze workload): rows are
+  // independent, so the row dimension is the outer parallel axis — each
+  // row's engine calls run under a parallelism budget of 1 (their sample
+  // sharding degrades to inline execution) and the shape-keyed PlanCache
+  // is the cross-thread amortization point: rows sharing a condition
+  // shape pay planning once, whichever worker plans first. Per-row
+  // results land in pre-sized slots and emitted rows fold in row order
+  // below, so the output table is byte-identical to a serial row loop at
+  // every num_threads.
+  const auto& rows = table.rows();
+  struct RowSlot {
+    Row cells;
+    bool emit = true;
+  };
+  std::vector<RowSlot> slots(rows.size());
+  PIP_RETURN_IF_ERROR(ParallelRows(
+      rows.size(), engine.options().num_threads, [&](size_t r) -> Status {
+        const auto& row = rows[r];
+        RowSlot& slot = slots[r];
+        slot.cells.reserve(out_columns.size());
+        for (size_t idx : pass_idx) {
+          if (!row.cells[idx]->IsConstant()) {
+            return Status::InvalidArgument(
+                "passthrough column '" + table.schema().name(idx) +
+                "' holds a probabilistic value");
+          }
+          slot.cells.push_back(row.cells[idx]->value());
+        }
+        double confidence = 1.0;
+        for (size_t i = 0; i < exp_idx.size(); ++i) {
+          PIP_ASSIGN_OR_RETURN(
+              ExpectationResult res,
+              engine.Expectation(row.cells[exp_idx[i]], row.condition,
+                                 spec.with_confidence && i == 0));
+          if (std::isnan(res.expectation) && res.probability == 0.0) {
+            slot.emit = false;
+            return Status::OK();
+          }
+          if (i == 0) confidence = res.probability;
+          slot.cells.push_back(Value(res.expectation));
+        }
+        if (spec.with_confidence) {
+          if (exp_idx.empty()) {
+            PIP_ASSIGN_OR_RETURN(ExpectationResult res,
+                                 engine.Confidence(row.condition));
+            if (res.probability <= 0.0) {
+              slot.emit = false;
+              return Status::OK();
+            }
+            confidence = res.probability;
+          }
+          slot.cells.push_back(Value(confidence));
+        }
+        return Status::OK();
+      }));
+  for (auto& slot : slots) {
+    if (!slot.emit) continue;
+    PIP_RETURN_IF_ERROR(out.Append(std::move(slot.cells)));
   }
   return out;
 }
@@ -321,18 +346,30 @@ StatusOr<Table> AnalyzeJointConfidence(const CTable& table,
   std::vector<std::string> out_columns = table.schema().columns();
   out_columns.push_back("aconf");
   Table out((Schema(out_columns)));
-  for (const auto& g : groups) {
+  // Group-parallel aconf(): one JointConfidence call per distinct-row
+  // group, fanned out like Analyze's rows (groups are the row axis
+  // here). Probabilities land in per-group slots; rows fold in group
+  // order, so the output matches the serial loop byte for byte.
+  std::vector<double> probs(groups.size(), 0.0);
+  PIP_RETURN_IF_ERROR(ParallelRows(
+      groups.size(), engine.options().num_threads, [&](size_t g) -> Status {
+        for (const auto& cell : groups[g].exemplar->cells) {
+          if (!cell->IsConstant()) {
+            return Status::InvalidArgument(
+                "aconf over probabilistic data cells is not supported; "
+                "project to deterministic columns first");
+          }
+        }
+        PIP_ASSIGN_OR_RETURN(probs[g],
+                             engine.JointConfidence(groups[g].disjuncts));
+        return Status::OK();
+      }));
+  for (size_t g = 0; g < groups.size(); ++g) {
     Row result;
-    for (const auto& cell : g.exemplar->cells) {
-      if (!cell->IsConstant()) {
-        return Status::InvalidArgument(
-            "aconf over probabilistic data cells is not supported; project "
-            "to deterministic columns first");
-      }
+    for (const auto& cell : groups[g].exemplar->cells) {
       result.push_back(cell->value());
     }
-    PIP_ASSIGN_OR_RETURN(double p, engine.JointConfidence(g.disjuncts));
-    result.push_back(Value(p));
+    result.push_back(Value(probs[g]));
     PIP_RETURN_IF_ERROR(out.Append(std::move(result)));
   }
   return out;

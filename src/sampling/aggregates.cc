@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/common/row_parallel.h"
 #include "src/common/running_stats.h"
 #include "src/common/thread_pool.h"
 #include "src/ctable/algebra.h"
@@ -31,32 +32,80 @@ StatusOr<double> AggregateEvaluator::ExpectedSum(
     const CTable& table, const std::string& column) const {
   PIP_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(column));
   SamplingEngine row_engine = RowEngine(table.num_rows());
+  // Rows are the outer parallel axis: each row's E[h | phi] * P[phi]
+  // term lands in its own slot, and the sum folds in row order, so the
+  // aggregate is bit-identical to the serial row loop.
+  const auto& rows = table.rows();
+  std::vector<double> terms(rows.size(), 0.0);
+  PIP_RETURN_IF_ERROR(ParallelRows(
+      rows.size(), row_engine.options().num_threads,
+      [&](size_t r) -> Status {
+        PIP_ASSIGN_OR_RETURN(
+            ExpectationResult res,
+            row_engine.Expectation(rows[r].cells[col], rows[r].condition,
+                                   /*compute_probability=*/true));
+        if (!std::isnan(res.expectation) && res.probability > 0.0) {
+          terms[r] = res.expectation * res.probability;
+        }
+        return Status::OK();
+      }));
   double total = 0.0;
-  for (const auto& row : table.rows()) {
-    PIP_ASSIGN_OR_RETURN(
-        ExpectationResult r,
-        row_engine.Expectation(row.cells[col], row.condition,
-                               /*compute_probability=*/true));
-    if (std::isnan(r.expectation) || r.probability <= 0.0) continue;
-    total += r.expectation * r.probability;
-  }
+  for (double t : terms) total += t;
   return total;
 }
 
 StatusOr<double> AggregateEvaluator::ExpectedCount(const CTable& table) const {
+  // Same sqrt(N)-relaxed per-row tolerance as ExpectedSum: count and sum
+  // estimates of one table get consistent per-row precision.
+  SamplingEngine row_engine = RowEngine(table.num_rows());
+  const auto& rows = table.rows();
+  std::vector<double> probs(rows.size(), 0.0);
+  PIP_RETURN_IF_ERROR(ParallelRows(
+      rows.size(), row_engine.options().num_threads,
+      [&](size_t r) -> Status {
+        PIP_ASSIGN_OR_RETURN(ExpectationResult res,
+                             row_engine.Confidence(rows[r].condition));
+        probs[r] = res.probability;
+        return Status::OK();
+      }));
   double total = 0.0;
-  for (const auto& row : table.rows()) {
-    PIP_ASSIGN_OR_RETURN(ExpectationResult r,
-                         engine_->Confidence(row.condition));
-    total += r.probability;
-  }
+  for (double p : probs) total += p;
   return total;
 }
 
 StatusOr<double> AggregateEvaluator::ExpectedAvg(
     const CTable& table, const std::string& column) const {
-  PIP_ASSIGN_OR_RETURN(double sum, ExpectedSum(table, column));
-  PIP_ASSIGN_OR_RETURN(double count, ExpectedCount(table));
+  PIP_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(column));
+  // One fused row sweep: a single Expectation call per row yields both
+  // the sum term E[h | phi] * P[phi] and the count term P[phi], so each
+  // row's condition is planned and sampled once instead of once for
+  // ExpectedSum and again for ExpectedCount.
+  SamplingEngine row_engine = RowEngine(table.num_rows());
+  const auto& rows = table.rows();
+  struct RowTerm {
+    double sum = 0.0;
+    double prob = 0.0;
+  };
+  std::vector<RowTerm> terms(rows.size());
+  PIP_RETURN_IF_ERROR(ParallelRows(
+      rows.size(), row_engine.options().num_threads,
+      [&](size_t r) -> Status {
+        PIP_ASSIGN_OR_RETURN(
+            ExpectationResult res,
+            row_engine.Expectation(rows[r].cells[col], rows[r].condition,
+                                   /*compute_probability=*/true));
+        // Unsatisfiable (or collapsed) rows contribute to neither sum
+        // nor count — they are absent from (almost) every world.
+        if (!std::isnan(res.expectation) && res.probability > 0.0) {
+          terms[r] = {res.expectation * res.probability, res.probability};
+        }
+        return Status::OK();
+      }));
+  double sum = 0.0, count = 0.0;
+  for (const RowTerm& t : terms) {
+    sum += t.sum;
+    count += t.prob;
+  }
   if (count <= 0.0) {
     return Status::Inconsistent("expected_avg over a table that is empty "
                                 "in (almost) every world");
@@ -274,31 +323,42 @@ StatusOr<Table> GroupedAggregate(const AggregateEvaluator& evaluator,
       break;
   }
   Table out((Schema(out_columns)));
-  for (const auto& group : groups) {
-    Row row = group.key;
-    double value = 0.0;
-    switch (aggregate) {
-      case GroupAggregate::kExpectedSum: {
-        PIP_ASSIGN_OR_RETURN(value,
-                             evaluator.ExpectedSum(group.rows, value_column));
-        break;
-      }
-      case GroupAggregate::kExpectedCount: {
-        PIP_ASSIGN_OR_RETURN(value, evaluator.ExpectedCount(group.rows));
-        break;
-      }
-      case GroupAggregate::kExpectedAvg: {
-        PIP_ASSIGN_OR_RETURN(value,
-                             evaluator.ExpectedAvg(group.rows, value_column));
-        break;
-      }
-      case GroupAggregate::kExpectedMax: {
-        PIP_ASSIGN_OR_RETURN(value,
-                             evaluator.ExpectedMax(group.rows, value_column));
-        break;
-      }
-    }
-    row.push_back(Value(value));
+  // Groups are independent per-table aggregations, so they fan out as
+  // the outer parallel axis; the per-group evaluators' own row loops
+  // then run serially under the nested parallelism budget. Values land
+  // in per-group slots and emit in group order: identical to the serial
+  // loop.
+  std::vector<double> values(groups.size(), 0.0);
+  PIP_RETURN_IF_ERROR(ParallelRows(
+      groups.size(), evaluator.engine().options().num_threads,
+      [&](size_t g) -> Status {
+        switch (aggregate) {
+          case GroupAggregate::kExpectedSum: {
+            PIP_ASSIGN_OR_RETURN(
+                values[g], evaluator.ExpectedSum(groups[g].rows, value_column));
+            break;
+          }
+          case GroupAggregate::kExpectedCount: {
+            PIP_ASSIGN_OR_RETURN(values[g],
+                                 evaluator.ExpectedCount(groups[g].rows));
+            break;
+          }
+          case GroupAggregate::kExpectedAvg: {
+            PIP_ASSIGN_OR_RETURN(
+                values[g], evaluator.ExpectedAvg(groups[g].rows, value_column));
+            break;
+          }
+          case GroupAggregate::kExpectedMax: {
+            PIP_ASSIGN_OR_RETURN(
+                values[g], evaluator.ExpectedMax(groups[g].rows, value_column));
+            break;
+          }
+        }
+        return Status::OK();
+      }));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Row row = groups[g].key;
+    row.push_back(Value(values[g]));
     PIP_RETURN_IF_ERROR(out.Append(std::move(row)));
   }
   return out;

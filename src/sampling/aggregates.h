@@ -39,16 +39,24 @@ class AggregateEvaluator {
                      AggregateOptions options = {})
       : engine_(engine), options_(options) {}
 
+  const SamplingEngine& engine() const { return *engine_; }
+
   /// expected_sum(column): sum of per-row conditional expectations
-  /// weighted by row confidence.
+  /// weighted by row confidence. Rows evaluate in parallel (outer axis)
+  /// and fold in row order — bit-identical at every thread count.
   StatusOr<double> ExpectedSum(const CTable& table,
                                const std::string& column) const;
 
-  /// expected_count(*): sum of row confidences.
+  /// expected_count(*): sum of row confidences, with the same
+  /// sqrt(N)-relaxed per-row tolerance as ExpectedSum so count and sum
+  /// estimates of one table carry consistent precision.
   StatusOr<double> ExpectedCount(const CTable& table) const;
 
   /// expected_avg(column): E[sum]/E[count] (first-order approximation of
   /// the expected average; exact when the row count is deterministic).
+  /// One fused row sweep: each row's condition is planned and sampled
+  /// once, yielding both the sum and the count term; rows whose sampling
+  /// budget collapses contribute to neither.
   StatusOr<double> ExpectedAvg(const CTable& table,
                                const std::string& column) const;
 

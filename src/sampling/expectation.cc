@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/running_stats.h"
 #include "src/common/special_math.h"
@@ -86,7 +87,13 @@ void RunChunkedWaves(uint64_t cap, size_t chunk, size_t start_chunk,
                      bool wave_limited, size_t num_threads, const Run& run,
                      const Fold& fold) {
   const size_t nchunks = NumChunks(cap, chunk);
-  const size_t workers = ThreadPool::ResolveThreads(num_threads);
+  // Clamped to the parallelism budget so a nested (inline) engine call
+  // sizes its waves like the serial engine: one chunk per barrier check,
+  // no over-computed chunks for the in-order fold to discard. Wave width
+  // never affects the folded chunk set — only how much speculative work
+  // exists past the stopping point — so this is throughput-only.
+  const size_t workers = std::min(ThreadPool::ResolveThreads(num_threads),
+                                  ThreadPool::ParallelismBudget());
   size_t c = start_chunk;
   bool stopped = false;
   std::vector<Outcome> wave;
@@ -677,6 +684,77 @@ size_t SamplingEngine::ChunkAttemptBudget(size_t chunk_len,
       std::min(budget, static_cast<double>(options_.max_total_attempts)));
 }
 
+template <typename Outcome, typename Run, typename Cost, typename Fold>
+void SamplingEngine::RunPilotedSchedule(std::vector<GroupPlan>* plans,
+                                        uint64_t cap, const Run& run,
+                                        const Cost& cost,
+                                        const Fold& fold) const {
+  const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
+  const size_t nchunks = NumChunks(cap, chunk);
+  if (nchunks == 0) return;
+
+  // Pilot shard: chunk 0 runs first, serially, on the original plans
+  // with the Metropolis switch armed. Rejection-rate history (and any
+  // chain it spawns) is confined to this shard, so the switch decision
+  // is identical for every num_threads.
+  const uint64_t pilot_end = std::min<uint64_t>(cap, chunk);
+  Outcome pilot{};
+  run(plans, /*chunk_index=*/0, /*begin=*/0, pilot_end,
+      ChunkAttemptBudget(pilot_end, cap, /*pilot=*/true), &pilot);
+  if (!fold(0, pilot, /*cloned=*/false) || nchunks == 1) return;
+
+  // Later shards budget from the pilot's observed per-item cost
+  // (deterministic — the pilot is serial), with 4x slack for variance,
+  // never below the proportional-share floor. This keeps adaptive runs
+  // over hard-but-samplable conditions (the proportional share prorates
+  // against a schedule such runs rarely exhaust) from collapsing where
+  // the serial engine succeeded; the caller's fold-side ledger still
+  // bounds the call at max_total_attempts.
+  size_t later_budget = ChunkAttemptBudget(chunk, cap);
+  const std::pair<size_t, size_t> pilot_cost = cost(pilot);
+  if (pilot_cost.first > 0) {
+    later_budget = std::max(
+        later_budget,
+        std::min(options_.max_total_attempts,
+                 4 * (pilot_cost.second / pilot_cost.first) * chunk));
+  }
+
+  bool chain_mode = false;
+  for (const auto& plan : *plans) {
+    chain_mode =
+        chain_mode || (plan.touches_target && plan.metropolis != nullptr);
+  }
+
+  if (chain_mode) {
+    // A Metropolis chain is inherently sequential: finish the remaining
+    // chunks serially on the original plans. Still deterministic — this
+    // path never forks, whatever num_threads is.
+    for (size_t c = 1; c < nchunks; ++c) {
+      uint64_t begin = static_cast<uint64_t>(c) * chunk;
+      uint64_t end = std::min<uint64_t>(cap, begin + chunk);
+      Outcome o{};
+      run(plans, c, begin, end, later_budget, &o);
+      if (!fold(c, o, /*cloned=*/false)) break;
+    }
+    return;
+  }
+
+  // Parallel shards over counter-reset plan clones, dispatched in waves
+  // with the stopping rule, the budget ledger and collapse all evaluated
+  // in chunk order at each barrier; chunks computed past the stopping
+  // point are discarded, so the accepted index set matches a serial run.
+  RunChunkedWaves<Outcome>(
+      cap, chunk, /*start_chunk=*/1, /*wave_limited=*/true,
+      options_.num_threads,
+      [&](size_t c, uint64_t begin, uint64_t end, Outcome* out) {
+        std::vector<GroupPlan> clones;
+        clones.reserve(plans->size());
+        for (const auto& p : *plans) clones.push_back(p.CloneForChunk(c));
+        run(&clones, c, begin, end, later_budget, out);
+      },
+      [&](size_t c, Outcome& o) { return fold(c, o, /*cloned=*/true); });
+}
+
 StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
                                                uint64_t sample_index,
                                                Assignment* assignment,
@@ -995,20 +1073,15 @@ StatusOr<ExpectationResult> SamplingEngine::Expectation(
   }
   if (!integrated) {
     // Monte Carlo over the sample-index space, sharded into contiguous
-    // chunks. The chunk schedule, the merge order and the adaptive
-    // stopping barriers depend only on chunk_samples — never on
-    // num_threads — so serial and parallel runs accept the same index
-    // set and fold the same merge tree: results are bit-identical.
+    // chunks by the shared pilot/chain/budget driver. The chunk
+    // schedule, the merge order and the adaptive stopping barriers
+    // depend only on chunk_samples — never on num_threads — so serial
+    // and parallel runs accept the same index set and fold the same
+    // merge tree: results are bit-identical.
     const double z = M_SQRT2 * ErfInv(1.0 - options_.epsilon);
     const bool fixed = options_.fixed_samples > 0;
     const size_t schedule_len =
         fixed ? options_.fixed_samples : options_.max_samples;
-    const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
-    const size_t nchunks = NumChunks(schedule_len, chunk);
-    auto chunk_range = [&](size_t c, uint64_t* b, uint64_t* e) {
-      *b = static_cast<uint64_t>(c) * chunk;
-      *e = std::min<uint64_t>(schedule_len, *b + chunk);
-    };
 
     RunningStats merged;
     bool collapsed = false;
@@ -1016,46 +1089,6 @@ StatusOr<ExpectationResult> SamplingEngine::Expectation(
     // abort early (discarded by the in-order fold), bounding the work a
     // collapsing call can burn without touching determinism.
     std::atomic<uint64_t> first_collapsed{UINT64_MAX};
-
-    // Pilot shard: chunk 0 runs first, serially, on the original plans
-    // with the Metropolis switch armed. Rejection-rate history (and any
-    // chain it spawns) is confined to this shard, so the switch decision
-    // is identical for every num_threads.
-    uint64_t b, e;
-    chunk_range(0, &b, &e);
-    if (nchunks > 0) {
-      ChunkOutcome pilot = RunExpectationChunk(
-          &plans, expr, b, e,
-          ChunkAttemptBudget(e - b, schedule_len, /*pilot=*/true),
-          /*chunk_index=*/0, &first_collapsed);
-      PIP_RETURN_IF_ERROR(pilot.status);
-      total_attempts += pilot.attempts;
-      merged.Merge(pilot.stats);
-      collapsed = pilot.collapsed;
-    }
-
-    bool chain_mode = false;
-    for (const auto& plan : plans) {
-      chain_mode = chain_mode ||
-                   (plan.touches_target && plan.metropolis != nullptr);
-    }
-
-    // Later shards budget from the pilot's observed per-sample cost
-    // (deterministic — the pilot is serial), with 4x slack for
-    // variance, never below the proportional-share floor. This keeps
-    // adaptive runs over hard-but-samplable conditions (the proportional
-    // share prorates against max_samples, which adaptive runs rarely
-    // approach) from collapsing where the serial engine succeeded; the
-    // fold-side ledger still bounds the call at max_total_attempts.
-    size_t later_budget = ChunkAttemptBudget(chunk, schedule_len);
-    if (merged.count() > 0) {
-      size_t pilot_cost_per_sample =
-          total_attempts / static_cast<size_t>(merged.count());
-      later_budget = std::max(
-          later_budget,
-          std::min(options_.max_total_attempts,
-                   4 * pilot_cost_per_sample * chunk));
-    }
 
     auto stop_now = [&]() {
       int64_t count = merged.count();
@@ -1067,66 +1100,46 @@ StatusOr<ExpectationResult> SamplingEngine::Expectation(
       return half_width <= options_.delta * std::max(mean, 1e-9);
     };
 
+    // The fold runs in chunk order for pilot, chain and wave chunks
+    // alike. The ledger is what makes max_total_attempts a real
+    // per-call bound: shard floors let individual chunks over-spend
+    // their proportional share, but the fold trips the collapse as soon
+    // as the folded shards exceed the configured budget — at a
+    // deterministic chunk index, independent of thread count.
     Status chunk_error = Status::OK();
-    if (!collapsed && nchunks > 1 && !stop_now()) {
-      if (chain_mode) {
-        // A Metropolis chain is inherently sequential: finish the
-        // remaining chunks serially on the original plans. Still
-        // deterministic — this path never forks, whatever num_threads is.
-        for (size_t c = 1; c < nchunks && !collapsed; ++c) {
-          chunk_range(c, &b, &e);
-          ChunkOutcome o = RunExpectationChunk(&plans, expr, b, e,
-                                               later_budget, c,
-                                               &first_collapsed);
-          PIP_RETURN_IF_ERROR(o.status);
+    RunPilotedSchedule<ChunkOutcome>(
+        &plans, schedule_len,
+        [&](std::vector<GroupPlan>* ps, size_t c, uint64_t begin,
+            uint64_t end, size_t budget, ChunkOutcome* out) {
+          *out = RunExpectationChunk(ps, expr, begin, end, budget, c,
+                                     &first_collapsed);
+        },
+        [&](const ChunkOutcome& pilot) {
+          return std::make_pair(static_cast<size_t>(pilot.stats.count()),
+                                pilot.attempts);
+        },
+        [&](size_t, ChunkOutcome& o, bool cloned) {
+          if (!o.status.ok()) {
+            chunk_error = o.status;
+            return false;
+          }
           total_attempts += o.attempts;
           merged.Merge(o.stats);
-          collapsed = o.collapsed || total_attempts > options_.max_total_attempts;
-          if (stop_now()) break;
-        }
-      } else {
-        // Parallel shards, dispatched in waves with the stopping rule,
-        // the budget ledger and collapse all evaluated in chunk order at
-        // each barrier; chunks computed past the stopping point are
-        // discarded, so the accepted index set matches a serial run.
-        // The ledger is what makes max_total_attempts a real per-call
-        // bound again: shard floors let individual chunks over-spend
-        // their proportional share, but the fold trips the collapse as
-        // soon as the folded shards exceed the configured budget — at a
-        // deterministic chunk index, independent of thread count.
-        RunChunkedWaves<ChunkOutcome>(
-            schedule_len, chunk, /*start_chunk=*/1, /*wave_limited=*/true,
-            options_.num_threads,
-            [&](size_t c, uint64_t wb, uint64_t we, ChunkOutcome* out) {
-              std::vector<GroupPlan> clones;
-              clones.reserve(plans.size());
-              for (const auto& p : plans) {
-                clones.push_back(p.CloneForChunk(c));
-              }
-              *out = RunExpectationChunk(&clones, expr, wb, we, later_budget,
-                                         c, &first_collapsed);
-            },
-            [&](size_t, ChunkOutcome& o) {
-              if (!o.status.ok()) {
-                chunk_error = o.status;
-                return false;
-              }
-              total_attempts += o.attempts;
-              merged.Merge(o.stats);
-              for (size_t g = 0; g < plans.size(); ++g) {
-                plans[g].accepted += o.group_accepted[g];
-                plans[g].attempts += o.group_attempts[g];
-              }
-              if (o.collapsed ||
-                  total_attempts > options_.max_total_attempts) {
-                collapsed = true;
-                return false;
-              }
-              return !stop_now();
-            });
-        PIP_RETURN_IF_ERROR(chunk_error);
-      }
-    }
+          if (cloned) {
+            // Clone counters fold back into the originals; chain/pilot
+            // chunks mutate the originals in place.
+            for (size_t g = 0; g < plans.size(); ++g) {
+              plans[g].accepted += o.group_accepted[g];
+              plans[g].attempts += o.group_attempts[g];
+            }
+          }
+          if (o.collapsed || total_attempts > options_.max_total_attempts) {
+            collapsed = true;
+            return false;
+          }
+          return !stop_now();
+        });
+    PIP_RETURN_IF_ERROR(chunk_error);
 
     if (collapsed) {
       // Sampling budget collapsed: the condition region is effectively
@@ -1309,7 +1322,6 @@ StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
   if (inconsistent || n == 0) return samples;
 
   const size_t chunk = std::max<size_t>(1, options_.chunk_samples);
-  const size_t nchunks = NumChunks(n, chunk);
   samples.assign(n, 0.0);
 
   struct CondChunk {
@@ -1367,77 +1379,39 @@ StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
     }
   };
 
-  // Pilot shard (Metropolis decision scope), then parallel remainder —
-  // same determinism schedule as the expectation loop. `ledger` folds
-  // per-chunk attempt counts in chunk order so max_total_attempts stays
-  // a deterministic per-call bound (exceeding it truncates the result
+  // Pilot shard (Metropolis decision scope), then chain-serial or
+  // parallel remainder — the shared driver, so the determinism schedule
+  // is the expectation loop's by construction. `ledger` folds per-chunk
+  // attempt counts in chunk order so max_total_attempts stays a
+  // deterministic per-call bound (exceeding it truncates the result
   // exactly like a shard budget collapse).
-  CondChunk pilot;
-  run_chunk(&plans, 0, 0, std::min<uint64_t>(n, chunk),
-            ChunkAttemptBudget(std::min<size_t>(n, chunk), n, /*pilot=*/true),
-            &pilot);
-  PIP_RETURN_IF_ERROR(pilot.status);
-  size_t total = pilot.produced;
-  size_t ledger = pilot.attempts;
-  bool truncated = pilot.produced < std::min<size_t>(n, chunk) ||
-                   ledger > options_.max_total_attempts;
-
-  // Later shards budget from the pilot's observed per-sample cost (4x
-  // slack), floored at the proportional share — same rationale as the
-  // expectation loop; the ledger still bounds the call.
-  size_t later_budget = ChunkAttemptBudget(chunk, n);
-  if (pilot.produced > 0) {
-    later_budget = std::max(
-        later_budget,
-        std::min(options_.max_total_attempts,
-                 4 * (pilot.attempts / pilot.produced) * chunk));
-  }
-
-  bool chain_mode = false;
-  for (const auto& plan : plans) {
-    chain_mode =
-        chain_mode || (plan.touches_target && plan.metropolis != nullptr);
-  }
-
-  if (!truncated && nchunks > 1) {
-    if (chain_mode) {
-      for (size_t c = 1; c < nchunks && !truncated; ++c) {
-        uint64_t begin = c * chunk, end = std::min<uint64_t>(n, begin + chunk);
-        CondChunk o;
-        run_chunk(&plans, c, begin, end, later_budget, &o);
-        PIP_RETURN_IF_ERROR(o.status);
+  size_t total = 0;
+  size_t ledger = 0;
+  Status chunk_error = Status::OK();
+  RunPilotedSchedule<CondChunk>(
+      &plans, n,
+      [&](std::vector<GroupPlan>* ps, size_t c, uint64_t begin, uint64_t end,
+          size_t budget, CondChunk* out) {
+        run_chunk(ps, c, begin, end, budget, out);
+      },
+      [&](const CondChunk& pilot) {
+        return std::make_pair(pilot.produced, pilot.attempts);
+      },
+      [&](size_t c, CondChunk& o, bool) {
+        if (!o.status.ok()) {
+          chunk_error = o.status;
+          return false;
+        }
         total += o.produced;
         ledger += o.attempts;
-        truncated = o.produced < end - begin ||
-                    ledger > options_.max_total_attempts;
-      }
-    } else {
-      Status chunk_error = Status::OK();
-      RunChunkedWaves<CondChunk>(
-          n, chunk, /*start_chunk=*/1, /*wave_limited=*/true,
-          options_.num_threads,
-          [&](size_t c, uint64_t begin, uint64_t end, CondChunk* out) {
-            std::vector<GroupPlan> clones;
-            clones.reserve(plans.size());
-            for (const auto& p : plans) clones.push_back(p.CloneForChunk(c));
-            run_chunk(&clones, c, begin, end, later_budget, out);
-          },
-          [&](size_t c, CondChunk& o) {
-            if (!o.status.ok()) {
-              chunk_error = o.status;
-              return false;
-            }
-            total += o.produced;
-            ledger += o.attempts;
-            uint64_t begin = c * chunk;
-            uint64_t end = std::min<uint64_t>(n, begin + chunk);
-            truncated = o.produced < end - begin ||
-                        ledger > options_.max_total_attempts;
-            return !truncated;
-          });
-      PIP_RETURN_IF_ERROR(chunk_error);
-    }
-  }
+        uint64_t begin = static_cast<uint64_t>(c) * chunk;
+        uint64_t end = std::min<uint64_t>(n, begin + chunk);
+        // Short chunk or exhausted call ledger: the visible result is
+        // the prefix produced so far.
+        return o.produced == end - begin &&
+               ledger <= options_.max_total_attempts;
+      });
+  PIP_RETURN_IF_ERROR(chunk_error);
 
   samples.resize(total);
   return samples;

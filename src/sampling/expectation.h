@@ -201,6 +201,29 @@ class SamplingEngine {
   size_t ChunkAttemptBudget(size_t chunk_len, size_t schedule_len,
                             bool pilot = false) const;
 
+  /// The shared pilot-shard/chain-mode/budget chunk driver behind
+  /// Expectation and SampleConditional (single definition so their
+  /// collapse semantics cannot silently diverge). Splits the index
+  /// space [0, cap) into the chunk_samples schedule and:
+  ///   1. runs chunk 0 serially on `plans` (Metropolis switch armed)
+  ///      with the full pilot attempt budget,
+  ///   2. derives the later-shard budget from the pilot's observed
+  ///      per-item cost via `cost(pilot) -> (produced, attempts)` (4x
+  ///      slack, floored at the proportional share),
+  ///   3. finishes the schedule serially on `plans` when the pilot
+  ///      switched a target group to Metropolis (chains are sequential),
+  ///      otherwise as parallel waves over per-chunk CloneForChunk
+  ///      copies of `plans`.
+  /// Every chunk is dispatched as `run(plans_or_clone, chunk_index,
+  /// begin, end, attempt_budget, out)` and folded IN CHUNK ORDER via
+  /// `fold(chunk_index, out, cloned)`; fold returns false to stop
+  /// (error, collapse, or adaptive stopping) and owns all accumulation —
+  /// including folding clone counters back when `cloned` is true.
+  template <typename Outcome, typename Run, typename Cost, typename Fold>
+  void RunPilotedSchedule(std::vector<GroupPlan>* plans, uint64_t cap,
+                          const Run& run, const Cost& cost,
+                          const Fold& fold) const;
+
   /// Exact probability of a single-variable interval-constrained group.
   StatusOr<double> ExactGroupProbability(const GroupPlan& plan) const;
 

@@ -73,7 +73,8 @@ class Parser {
     if (Peek().Is("INSERT")) return ParseInsert();
     if (Peek().Is("SELECT")) return ParseSelect();
     if (Peek().Is("SET")) return ParseSet();
-    return Error("expected CREATE, INSERT, SELECT or SET");
+    if (Peek().Is("SHOW")) return ParseShow();
+    return Error("expected CREATE, INSERT, SELECT, SET or SHOW");
   }
 
  private:
@@ -316,6 +317,21 @@ class Parser {
     }
     SqlResult result;
     result.message = "SET " + upper;
+    return result;
+  }
+
+  /// SHOW DISTRIBUTIONS: the registered distribution classes (usable as
+  /// constructors in INSERT/SELECT), one per row, sorted by name.
+  StatusOr<SqlResult> ParseShow() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
+    PIP_RETURN_IF_ERROR(ExpectKeyword("DISTRIBUTIONS"));
+    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+    SqlResult result;
+    result.kind = SqlResult::Kind::kTable;
+    result.table = Table(Schema({"distribution"}));
+    for (const std::string& name : DistributionRegistry::Global().Names()) {
+      PIP_RETURN_IF_ERROR(result.table.Append({Value(name)}));
+    }
     return result;
   }
 

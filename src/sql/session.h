@@ -21,12 +21,21 @@
 ///   INSERT INTO name VALUES (expr, ...) [, (expr, ...)]*
 ///   SELECT targets FROM name [, name]* [WHERE conjunction]
 ///   SET knob = value        -- session sampling knobs, see below
+///   SHOW DISTRIBUTIONS      -- registered distribution classes
 ///
 /// SET tunes the session's SamplingOptions; supported knobs are
 /// NUM_THREADS (0 = hardware concurrency), FIXED_SAMPLES, MIN_SAMPLES,
 /// MAX_SAMPLES, EPSILON, DELTA and SAMPLE_OFFSET. New sessions inherit
 /// the database's default_options(), so deployments can pin e.g. a
-/// thread budget once at the Database level.
+/// thread budget once at the Database level. NUM_THREADS caps both
+/// parallel axes at once: batch operators (Analyze, aconf(), the
+/// expected_* aggregates) fan their row loops across the pool and each
+/// row's sample sharding then runs inline; single-row calls fan the
+/// sample axis instead (see README "Threading model").
+///
+/// SHOW DISTRIBUTIONS returns a one-column deterministic table listing
+/// DistributionRegistry::Global().Names() — every class name usable as a
+/// constructor in INSERT/SELECT targets.
 ///
 /// Targets: expressions with optional `AS alias`, or the aggregates
 /// expected_sum(expr) / expected_count(*) / expected_avg(expr) /

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "src/common/running_stats.h"
+#include "src/common/special_math.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/database.h"
 #include "src/sql/session.h"
@@ -484,6 +485,251 @@ TEST_F(ParallelEngineTest, QuantileTableBuiltOncePerPlanNotPerAttempt) {
 // ---------------------------------------------------------------------------
 // num_threads plumbing: Database defaults and SQL SET
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Nesting-aware scheduling: the parallelism budget
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ChunkBodiesRunUnderUnitBudget) {
+  // Outside any parallel region the budget is unlimited; inside a chunk
+  // body (on workers and on the participating caller alike) it is 1, so
+  // nested parallel regions degrade to inline serial execution.
+  EXPECT_GT(ThreadPool::ParallelismBudget(), 1u);
+  std::vector<size_t> budgets(6, 0);
+  ThreadPool::For(budgets.size(), 4, [&](size_t i) {
+    budgets[i] = ThreadPool::ParallelismBudget();
+  });
+  for (size_t b : budgets) EXPECT_EQ(b, 1u);
+}
+
+TEST(ThreadPoolTest, BudgetScopeShrinksAndRestores) {
+  size_t outer = ThreadPool::ParallelismBudget();
+  {
+    ThreadPool::BudgetScope cap(3);
+    EXPECT_EQ(ThreadPool::ParallelismBudget(), 3u);
+    // A nested scope can only shrink the cap, never re-expand it.
+    ThreadPool::BudgetScope wider(8);
+    EXPECT_EQ(ThreadPool::ParallelismBudget(), 3u);
+  }
+  EXPECT_EQ(ThreadPool::ParallelismBudget(), outer);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineUnderUnitBudget) {
+  // A nested loop inside a chunk body must execute on the same thread
+  // (inline), not fan back into the pool.
+  std::atomic<bool> all_inline{true};
+  ThreadPool::For(4, 4, [&](size_t) {
+    std::thread::id outer_id = std::this_thread::get_id();
+    ThreadPool::For(4, 4, [&](size_t) {
+      if (std::this_thread::get_id() != outer_id) all_inline = false;
+    });
+  });
+  EXPECT_TRUE(all_inline.load());
+}
+
+TEST(ThreadPoolTest, DegradedLoopKeepsBudgetForItsBody) {
+  // A single-chunk (or single-worker) loop is not a parallel region: its
+  // body keeps the inherited budget so deeper calls may still fan out.
+  size_t seen = 0;
+  ThreadPool::For(1, 8, [&](size_t) { seen = ThreadPool::ParallelismBudget(); });
+  EXPECT_GT(seen, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Row-parallel batch evaluation (rows as the outer parallel axis)
+// ---------------------------------------------------------------------------
+
+class RowParallelTest : public ::testing::Test {
+ protected:
+  /// A c-table of `rows` rows: cell Normal(i, 1) under condition
+  /// (cell > i - 1), plus one unsatisfiable row in the middle.
+  CTable MakeBatch(int rows) {
+    CTable t(Schema({"v"}));
+    for (int i = 0; i < rows; ++i) {
+      VarRef x =
+          db_.CreateVariable("Normal", {static_cast<double>(i), 1.0}).value();
+      Condition c(Expr::Var(x) > Expr::Constant(static_cast<double>(i) - 1.0));
+      PIP_CHECK(t.Append({Expr::Var(x)}, c).ok());
+      if (i == rows / 2) {
+        VarRef u = db_.CreateVariable("Uniform", {0.0, 1.0}).value();
+        PIP_CHECK(t.Append({Expr::Constant(1.0)},
+                           Condition(Expr::Var(u) > Expr::Constant(2.0)))
+                      .ok());
+      }
+    }
+    return t;
+  }
+
+  SamplingOptions ThreadedOptions(size_t threads) {
+    SamplingOptions opts;
+    opts.num_threads = threads;
+    opts.fixed_samples = 400;
+    opts.use_numeric_integration = false;  // Force per-row sampling.
+    return opts;
+  }
+
+  Database db_{4242};
+};
+
+TEST_F(RowParallelTest, AnalyzeBitIdenticalAcrossThreads) {
+  CTable t = MakeBatch(12);
+  AnalyzeSpec spec;
+  spec.expectation_columns = {"v"};
+  spec.with_confidence = true;
+  std::vector<std::string> outputs;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+    Table out = Analyze(t, engine, spec).value();
+    EXPECT_EQ(out.num_rows(), 12u);  // The unsatisfiable row is dropped.
+    outputs.push_back(out.ToString());
+  }
+  EXPECT_EQ(outputs[1], outputs[0]);
+  EXPECT_EQ(outputs[2], outputs[0]);
+}
+
+TEST_F(RowParallelTest, ExpectedSumAndGroupedAggregatesBitIdentical) {
+  CTable t = MakeBatch(10);
+  std::vector<double> sums, counts, avgs;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+    AggregateEvaluator agg(&engine);
+    sums.push_back(agg.ExpectedSum(t, "v").value());
+    counts.push_back(agg.ExpectedCount(t).value());
+    avgs.push_back(agg.ExpectedAvg(t, "v").value());
+  }
+  for (size_t i = 1; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i], sums[0]);
+    EXPECT_EQ(counts[i], counts[0]);
+    EXPECT_EQ(avgs[i], avgs[0]);
+  }
+  // Exact-CDF row confidences: 10 satisfiable rows at P[N(i,1) > i-1]
+  // each, plus the unsatisfiable row at 0.
+  EXPECT_NEAR(counts[0], 10.0 * (1.0 - NormalCdf(-1.0)), 1e-6);
+}
+
+TEST_F(RowParallelTest, AconfGroupsBitIdenticalAcrossThreads) {
+  // Several groups of bag-encoded disjuncts; the group loop is the
+  // parallel axis.
+  CTable t(Schema({"tag"}));
+  for (int g = 0; g < 4; ++g) {
+    for (int d = 0; d < 3; ++d) {
+      VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+      Condition c(Expr::Var(x) >
+                  Expr::Constant(static_cast<double>(g) - 1.0 + 0.3 * d));
+      PIP_CHECK(
+          t.Append({Expr::Constant(static_cast<double>(g))}, c).ok());
+    }
+  }
+  std::vector<std::string> outputs;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+    outputs.push_back(AnalyzeJointConfidence(t, engine).value().ToString());
+  }
+  EXPECT_EQ(outputs[1], outputs[0]);
+  EXPECT_EQ(outputs[2], outputs[0]);
+}
+
+TEST_F(RowParallelTest, MiddleRowErrorSurfacesSameStatusAsSerial) {
+  // Row 2's expectation target is a string constant: EvalDouble fails
+  // inside the engine. The parallel batch must surface the same error
+  // (the first in ROW order) as the serial loop, not whichever row
+  // happened to fail first on the clock.
+  CTable t(Schema({"v"}));
+  for (int i = 0; i < 5; ++i) {
+    if (i == 2) {
+      PIP_CHECK(t.Append({Expr::String("oops")}).ok());
+    } else {
+      VarRef x = db_.CreateVariable("Normal", {1.0, 1.0}).value();
+      PIP_CHECK(t.Append({Expr::Var(x)}).ok());
+    }
+  }
+  AnalyzeSpec spec;
+  spec.expectation_columns = {"v"};
+  Status serial, parallel;
+  {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(1));
+    serial = Analyze(t, engine, spec).status();
+  }
+  {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(8));
+    parallel = Analyze(t, engine, spec).status();
+  }
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(parallel.code(), serial.code());
+  EXPECT_EQ(parallel.message(), serial.message());
+}
+
+TEST_F(RowParallelTest, ProbabilisticPassthroughErrorMatchesSerial) {
+  CTable t(Schema({"tag", "v"}));
+  for (int i = 0; i < 5; ++i) {
+    VarRef x = db_.CreateVariable("Normal", {1.0, 1.0}).value();
+    ExprPtr tag = i == 2 ? Expr::Var(x) : Expr::Constant(static_cast<double>(i));
+    PIP_CHECK(t.Append({tag, Expr::Var(x)}).ok());
+  }
+  AnalyzeSpec spec;
+  spec.passthrough_columns = {"tag"};
+  spec.expectation_columns = {"v"};
+  Status serial, parallel;
+  {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(1));
+    serial = Analyze(t, engine, spec).status();
+  }
+  {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(8));
+    parallel = Analyze(t, engine, spec).status();
+  }
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(parallel.code(), serial.code());
+  EXPECT_EQ(parallel.message(), serial.message());
+}
+
+// ---------------------------------------------------------------------------
+// The shared pilot/chain/budget chunk driver (Expectation and
+// SampleConditional collapse semantics stay unchanged)
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelEngineTest, SampleConditionalTruncationBitIdentical) {
+  // Effectively unsatisfiable two-variable condition with Metropolis
+  // off: shard budgets collapse and the result is a truncated prefix.
+  // The shared chunk driver must keep that prefix bit-identical across
+  // thread counts (the serial engine's collapse behavior).
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  VarRef y = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) - Expr::Var(y) > Expr::Constant(14.0));
+  std::vector<std::vector<double>> draws;
+  for (size_t threads : {1, 2, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.use_metropolis = false;
+    opts.max_total_attempts = 200000;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    draws.push_back(
+        engine.SampleConditional(Expr::Var(x) - Expr::Var(y), c, 300).value());
+  }
+  EXPECT_LT(draws[0].size(), 300u);
+  EXPECT_EQ(draws[1], draws[0]);
+  EXPECT_EQ(draws[2], draws[0]);
+}
+
+TEST_F(ParallelEngineTest, SampleConditionalMetropolisChainUnchanged) {
+  // A forced Metropolis switch sends SampleConditional down the shared
+  // driver's chain-serial path; every thread count follows the same
+  // chain, so the draws are identical by construction.
+  VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  VarRef y = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+  Condition c(Expr::Var(x) - Expr::Var(y) > Expr::Constant(4.0));
+  std::vector<std::vector<double>> draws;
+  for (size_t threads : {1, 8}) {
+    SamplingOptions opts = ThreadedOptions(threads);
+    opts.metropolis_threshold = 0.5;
+    opts.metropolis_check_after = 64;
+    SamplingEngine engine = db_.MakeEngine(opts);
+    draws.push_back(
+        engine.SampleConditional(Expr::Var(x) - Expr::Var(y), c, 500).value());
+  }
+  ASSERT_EQ(draws[0].size(), 500u);
+  EXPECT_EQ(draws[1], draws[0]);
+  for (double v : draws[0]) EXPECT_GT(v, 4.0);
+}
 
 TEST(OptionsPlumbingTest, DatabaseDefaultsReachSessions) {
   Database db(123);

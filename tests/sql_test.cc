@@ -166,6 +166,25 @@ TEST_F(SqlSessionTest, SelectiveExpectedSumUsesConditions) {
   EXPECT_NEAR(r.table.row(0)[0].double_value(), expected, 0.2);
 }
 
+TEST_F(SqlSessionTest, ShowDistributionsListsRegistry) {
+  SqlResult r = Run("SHOW DISTRIBUTIONS");
+  ASSERT_EQ(r.kind, SqlResult::Kind::kTable);
+  EXPECT_EQ(r.table.schema().columns(),
+            (std::vector<std::string>{"distribution"}));
+  std::vector<std::string> expected = DistributionRegistry::Global().Names();
+  ASSERT_EQ(r.table.num_rows(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r.table.row(i)[0].string_value(), expected[i]);
+  }
+  // The builtin library is pre-seeded, so the listing is never empty.
+  EXPECT_GE(expected.size(), 10u);
+}
+
+TEST_F(SqlSessionTest, ShowRequiresDistributions) {
+  EXPECT_FALSE(session_.Execute("SHOW TABLES").ok());
+  EXPECT_FALSE(session_.Execute("SHOW").ok());
+}
+
 TEST_F(SqlSessionTest, ExpectedCountStar) {
   Run("CREATE TABLE m (v)");
   Run("INSERT INTO m VALUES (Uniform(0, 1)), (Uniform(0, 1))");
