@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_json.h"
 #include "src/common/thread_pool.h"
@@ -153,10 +154,60 @@ void PrintFigure5() {
               "time grows ~1/selectivity.\n\n");
 }
 
+/// Scalar-vs-batch draw ablation over this figure's own workload: Q4 at
+/// the highest selectivity with use_batch_generation toggled. The results
+/// must match bit-for-bit (batch-draw contract); the record pair tracks
+/// how much of the full query pipeline the batched kernels accelerate —
+/// unlike fig6's isolated-kernel ablation, constrained phases here fall
+/// back to scalar draws, so the gap is smaller by design.
+void BatchDrawAblation() {
+  const size_t samples = SmokeMode() ? 200 : kBaseSamples;
+  const double sel = kSelectivities[0];
+  double wall[2] = {0.0, 0.0};
+  double value[2] = {0.0, 0.0};
+  for (int mode = 0; mode < 2; ++mode) {
+    SamplingOptions opts;
+    opts.fixed_samples = samples;
+    opts.use_batch_generation = mode == 1;
+    pip::WallTimer timer;
+    auto r = RunQ4Pip(Data(), sel, 1, opts);
+    wall[mode] = timer.Seconds();
+    PIP_CHECK(r.ok());
+    value[mode] = r.value().total;
+  }
+  PIP_CHECK_MSG(std::memcmp(&value[0], &value[1], sizeof(double)) == 0,
+                "batch draws diverged from scalar draws");
+
+  std::printf("=== Batch-draw ablation: Q4 (sel %.2f), %zu samples ===\n",
+              sel, samples);
+  const char* names[] = {"Q4_pip_scalar_draws", "Q4_pip_batch_draws"};
+  std::vector<BenchRecord> records;
+  for (int mode = 0; mode < 2; ++mode) {
+    double rate = wall[mode] > 0
+                      ? static_cast<double>(samples) / wall[mode]
+                      : 0.0;
+    std::printf("%20s %10.3fs %14.0f samples/s\n", names[mode], wall[mode],
+                rate);
+    BenchRecord r;
+    r.bench = "fig5_batch_ablation";
+    r.query = names[mode];
+    r.threads = static_cast<double>(
+        pip::ThreadPool::ResolveThreads(SamplingOptions{}.num_threads));
+    r.wall_seconds = wall[mode];
+    r.samples = static_cast<double>(samples);
+    r.samples_per_sec = rate;
+    r.value = value[mode];
+    records.push_back(r);
+  }
+  std::printf("bit-identical scalar vs batch: yes\n\n");
+  AppendBenchRecords(BenchJsonPath(), records);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFigure5();
+  BatchDrawAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

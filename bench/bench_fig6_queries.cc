@@ -356,12 +356,69 @@ void AnalyzeRowSweep() {
   AppendBenchRecords(BenchJsonPath(), records);
 }
 
+/// Scalar-vs-batch draw ablation: one batch-eligible expectation (no
+/// conditions, so every chunk pre-draws its whole sample range with
+/// GenerateBatch when the toggle is on) timed with use_batch_generation
+/// off and on. The two runs must agree bit-for-bit — the batch-draw
+/// contract (README) — so the record pair differs only in throughput;
+/// bench-smoke asserts a regression threshold on it.
+void BatchDrawAblation() {
+  const size_t samples = SmokeMode() ? 100000 : 1000000;
+  pip::Database db(20260807);
+  auto x = db.CreateVariable("Normal", {5.0, 2.0}).value();
+  auto y = db.CreateVariable("Exponential", {1.0}).value();
+  pip::ExprPtr expr = pip::Expr::Var(x) + pip::Expr::Var(y);
+
+  double wall[2] = {0.0, 0.0};
+  double value[2] = {0.0, 0.0};
+  for (int mode = 0; mode < 2; ++mode) {
+    SamplingOptions opts;
+    opts.fixed_samples = samples;
+    opts.num_threads = 1;  // Isolate the kernel effect from scheduling.
+    opts.use_numeric_integration = false;
+    opts.use_batch_generation = mode == 1;
+    pip::SamplingEngine engine = db.MakeEngine(opts);
+    pip::WallTimer timer;
+    auto r = engine.Expectation(expr, pip::Condition::True(), false);
+    wall[mode] = timer.Seconds();
+    PIP_CHECK(r.ok());
+    value[mode] = r.value().expectation;
+  }
+  PIP_CHECK_MSG(std::memcmp(&value[0], &value[1], sizeof(double)) == 0,
+                "batch draws diverged from scalar draws");
+
+  std::printf("=== Batch-draw ablation: E[X+Y], %zu samples, 1 thread ===\n",
+              samples);
+  const char* names[] = {"scalar_draws", "batch_draws"};
+  std::vector<BenchRecord> records;
+  for (int mode = 0; mode < 2; ++mode) {
+    double rate = wall[mode] > 0
+                      ? static_cast<double>(samples) / wall[mode]
+                      : 0.0;
+    std::printf("%13s %10.3fs %14.0f samples/s\n", names[mode], wall[mode],
+                rate);
+    BenchRecord r;
+    r.bench = "fig6_batch_ablation";
+    r.query = names[mode];
+    r.threads = 1;
+    r.wall_seconds = wall[mode];
+    r.samples = static_cast<double>(samples);
+    r.samples_per_sec = rate;
+    r.value = value[mode];
+    records.push_back(r);
+  }
+  std::printf("bit-identical scalar vs batch: yes; speedup %.2fx\n\n",
+              wall[1] > 0 ? wall[0] / wall[1] : 0.0);
+  AppendBenchRecords(BenchJsonPath(), records);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFigure6();
   ThreadSweep();
   AnalyzeRowSweep();
+  BatchDrawAblation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -51,6 +51,28 @@ uint64_t RandomStream::NextBounded(uint64_t n) {
   return static_cast<uint64_t>(m >> 64);
 }
 
+void RandomStream::FillBits(uint64_t* out, uint64_t n) {
+  // Hoist the three key words out of the loop; only the counter varies, so
+  // the compiler can keep the stream coordinates in registers across the
+  // whole block. Each word equals what NextBits() would have returned.
+  const uint64_t a = seed_ ^ 0x9e3779b97f4a7c15ULL;
+  const uint64_t b = variable_id_ * 0xbf58476d1ce4e5b9ULL;
+  const uint64_t c = component_ ^ (sample_index_ << 32);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = MixBits(a, b, c, counter_++);
+  }
+}
+
+void RandomStream::FillUniforms(double* out, uint64_t n) {
+  const uint64_t a = seed_ ^ 0x9e3779b97f4a7c15ULL;
+  const uint64_t b = variable_id_ * 0xbf58476d1ce4e5b9ULL;
+  const uint64_t c = component_ ^ (sample_index_ << 32);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(MixBits(a, b, c, counter_++) >> 11) *
+             0x1.0p-53;
+  }
+}
+
 double RandomStream::NextGaussian() {
   // Box-Muller; uses two uniforms per pair but keeps the stream stateless
   // apart from the counter (no cached second value, to preserve replay

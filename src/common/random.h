@@ -75,6 +75,15 @@ class RandomStream {
   /// Standard normal draw (Box-Muller on the counter stream).
   double NextGaussian();
 
+  /// Fills out[0..n) with the next n counter-consecutive raw words.
+  /// Bit-identical to calling NextBits() n times; the counter advances by n,
+  /// so block and scalar consumption can be interleaved freely.
+  void FillBits(uint64_t* out, uint64_t n);
+
+  /// Fills out[0..n) with the next n uniforms in [0, 1). Bit-identical to
+  /// calling NextUniform() n times (one word per value).
+  void FillUniforms(double* out, uint64_t n);
+
  private:
   uint64_t seed_;
   uint64_t variable_id_;

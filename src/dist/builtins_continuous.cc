@@ -24,6 +24,20 @@ using std::sqrt;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Fills u[s * per_sample + k] with word k of sample s's component-0
+/// stream, for n consecutive samples starting at ctx.sample_index. Each
+/// sample gets its own stream with the counter at zero — exactly how the
+/// scalar path opens them — so the batch kernels below stay word-for-word
+/// identical to the per-sample loop.
+void FillComponentUniforms(const SampleContext& ctx, uint64_t n,
+                           uint64_t per_sample, double* u) {
+  const uint64_t mixed_seed = ctx.MixedSeed();
+  for (uint64_t s = 0; s < n; ++s) {
+    RandomStream stream(mixed_seed, ctx.var_id, 0, ctx.sample_index + s);
+    stream.FillUniforms(u + s * per_sample, per_sample);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Normal(mu, sigma)
 // ---------------------------------------------------------------------------
@@ -47,6 +61,19 @@ class NormalDist : public Distribution {
                        std::vector<double>* out) const override {
     RandomStream stream = ctx.StreamFor(0);
     out->assign(1, p[0] + p[1] * stream.NextGaussian());
+    return Status::OK();
+  }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    // Two words per sample (Box-Muller, cosine branch, first uniform
+    // clamped open) — the exact NextGaussian word schedule.
+    std::vector<double> u(2 * n);
+    FillComponentUniforms(ctx, n, 2, u.data());
+    for (uint64_t s = 0; s < n; ++s) {
+      double u1 = u[2 * s] > 0.0 ? u[2 * s] : 0x1.0p-53;
+      out[s] = p[0] + p[1] * (sqrt(-2.0 * log(u1)) *
+                              std::cos(2.0 * M_PI * u[2 * s + 1]));
+    }
     return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
@@ -96,6 +123,13 @@ class UniformDist : public Distribution {
                        std::vector<double>* out) const override {
     RandomStream stream = ctx.StreamFor(0);
     out->assign(1, p[0] + (p[1] - p[0]) * stream.NextUniform());
+    return Status::OK();
+  }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    FillComponentUniforms(ctx, n, 1, out);
+    const double lo = p[0], w = p[1] - p[0];
+    for (uint64_t s = 0; s < n; ++s) out[s] = lo + w * out[s];
     return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
@@ -150,6 +184,13 @@ class ExponentialDist : public Distribution {
     out->assign(1, -std::log1p(-stream.NextUniform()) / p[0]);
     return Status::OK();
   }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    FillComponentUniforms(ctx, n, 1, out);
+    const double rate = p[0];
+    for (uint64_t s = 0; s < n; ++s) out[s] = -std::log1p(-out[s]) / rate;
+    return Status::OK();
+  }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
                        double x) const override {
     return x < 0.0 ? 0.0 : p[0] * exp(-p[0] * x);
@@ -198,9 +239,11 @@ class GammaDist : public Distribution {
   Status GenerateJoint(const std::vector<double>& p, const SampleContext& ctx,
                        std::vector<double>* out) const override {
     // Inverse transform keeps Generate exactly coherent with the CDF pair
-    // (the quantile solver is Newton-safeguarded, ~4 iterations).
+    // (the quantile solver is Newton-safeguarded, ~4 iterations). The
+    // uniform must stay off 0: InverseRegularizedGammaP diverges there.
     RandomStream stream = ctx.StreamFor(0);
-    out->assign(1, p[1] * InverseRegularizedGammaP(p[0], stream.NextUniform()));
+    out->assign(1,
+                p[1] * InverseRegularizedGammaP(p[0], stream.NextOpenUniform()));
     return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
@@ -259,6 +302,17 @@ class LognormalDist : public Distribution {
     out->assign(1, exp(p[0] + p[1] * stream.NextGaussian()));
     return Status::OK();
   }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    std::vector<double> u(2 * n);
+    FillComponentUniforms(ctx, n, 2, u.data());
+    for (uint64_t s = 0; s < n; ++s) {
+      double u1 = u[2 * s] > 0.0 ? u[2 * s] : 0x1.0p-53;
+      out[s] = exp(p[0] + p[1] * (sqrt(-2.0 * log(u1)) *
+                                  std::cos(2.0 * M_PI * u[2 * s + 1])));
+    }
+    return Status::OK();
+  }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
                        double x) const override {
     if (x <= 0.0) return 0.0;
@@ -307,8 +361,11 @@ class BetaDist : public Distribution {
   }
   Status GenerateJoint(const std::vector<double>& p, const SampleContext& ctx,
                        std::vector<double>* out) const override {
+    // Open uniform: InverseRegularizedBeta hits the support endpoints at
+    // exactly 0/1, where alpha/beta < 1 densities are singular.
     RandomStream stream = ctx.StreamFor(0);
-    out->assign(1, InverseRegularizedBeta(p[0], p[1], stream.NextUniform()));
+    out->assign(1,
+                InverseRegularizedBeta(p[0], p[1], stream.NextOpenUniform()));
     return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,

@@ -22,6 +22,17 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Batch word fill for univariate kernels: u[s] gets the first uniform of
+/// sample s's component-0 stream, matching the scalar path's per-sample
+/// stream construction exactly (see builtins_continuous.cc).
+void FillFirstUniforms(const SampleContext& ctx, uint64_t n, double* u) {
+  const uint64_t mixed_seed = ctx.MixedSeed();
+  for (uint64_t s = 0; s < n; ++s) {
+    RandomStream stream(mixed_seed, ctx.var_id, 0, ctx.sample_index + s);
+    stream.FillUniforms(u + s, 1);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Poisson(lambda) — infinite lattice.
 // ---------------------------------------------------------------------------
@@ -45,6 +56,13 @@ class PoissonDist : public Distribution {
                        std::vector<double>* out) const override {
     RandomStream stream = ctx.StreamFor(0);
     out->assign(1, Quantile(p[0], stream.NextUniform()));
+    return Status::OK();
+  }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    FillFirstUniforms(ctx, n, out);
+    const double lambda = p[0];
+    for (uint64_t s = 0; s < n; ++s) out[s] = Quantile(lambda, out[s]);
     return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
@@ -115,6 +133,13 @@ class BernoulliDist : public Distribution {
                        std::vector<double>* out) const override {
     RandomStream stream = ctx.StreamFor(0);
     out->assign(1, stream.NextUniform() < p[0] ? 1.0 : 0.0);
+    return Status::OK();
+  }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    FillFirstUniforms(ctx, n, out);
+    const double prob = p[0];
+    for (uint64_t s = 0; s < n; ++s) out[s] = out[s] < prob ? 1.0 : 0.0;
     return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
@@ -363,6 +388,35 @@ class CategoricalDist : public Distribution {
       }
     }
     return Status::Internal("Categorical with no positive-mass value");
+  }
+  Status GenerateBatch(const std::vector<double>& p, const SampleContext& ctx,
+                       uint64_t n, double* out) const override {
+    // Batch draws DO use the memoized table: one hash amortized over the
+    // whole block, then binary searches. The table's prefix sums are
+    // accumulated in index order, so `u < prefix[k + 1]` is bitwise the
+    // same predicate as the scalar scan's `u < acc`, and upper_bound
+    // (first prefix strictly above u) lands on the identical category —
+    // including skipping zero-mass entries, whose prefix step is flat.
+    auto table = CategoricalTable::For(p);
+    const std::vector<double>& prefix = table->prefix;
+    double tail = -1.0;
+    for (size_t k = p.size(); k-- > 0;) {
+      if (p[k] > 0.0) {
+        tail = static_cast<double>(k);
+        break;
+      }
+    }
+    if (tail < 0.0) {
+      return Status::Internal("Categorical with no positive-mass value");
+    }
+    FillFirstUniforms(ctx, n, out);
+    for (uint64_t s = 0; s < n; ++s) {
+      auto it = std::upper_bound(prefix.begin() + 1, prefix.end(), out[s]);
+      out[s] = it == prefix.end()
+                   ? tail
+                   : static_cast<double>(it - prefix.begin() - 1);
+    }
+    return Status::OK();
   }
   StatusOr<double> Pdf(const std::vector<double>& p, uint32_t,
                        double x) const override {

@@ -1,10 +1,32 @@
 #include "src/dist/distribution.h"
 
+#include <algorithm>
+
 namespace pip {
 
 Status Distribution::MissingCapability(const char* what) const {
   return Status::Unimplemented("distribution '" + name() +
                                "' does not provide " + what);
+}
+
+Status Distribution::GenerateBatch(const std::vector<double>& params,
+                                   const SampleContext& ctx, uint64_t n,
+                                   double* out) const {
+  // Fallback: the scalar loop, which is bit-identical by definition.
+  const size_t d = NumComponents(params);
+  std::vector<double> joint;
+  SampleContext sample = ctx;
+  for (uint64_t s = 0; s < n; ++s) {
+    sample.sample_index = ctx.sample_index + s;
+    PIP_RETURN_IF_ERROR(GenerateJoint(params, sample, &joint));
+    if (joint.size() != d) {
+      return Status::Internal("GenerateJoint produced " +
+                              std::to_string(joint.size()) +
+                              " components, expected " + std::to_string(d));
+    }
+    std::copy(joint.begin(), joint.end(), out + s * d);
+  }
+  return Status::OK();
 }
 
 StatusOr<double> Distribution::Pdf(const std::vector<double>& params,

@@ -70,10 +70,15 @@ struct SampleContext {
   uint64_t sample_index = 0;
   uint64_t attempt = 0;
 
+  /// The derived stream seed shared by every component/sample of this
+  /// (pool seed, attempt) pair. Batch kernels hoist it once per block.
+  uint64_t MixedSeed() const {
+    return MixBits(seed, attempt, 0x70697005ULL, 1);
+  }
+
   /// The i.i.d. uniform stream for one component of this coordinate.
   RandomStream StreamFor(uint32_t component) const {
-    return RandomStream(MixBits(seed, attempt, 0x70697005ULL, 1),
-                        var_id, component, sample_index);
+    return RandomStream(MixedSeed(), var_id, component, sample_index);
   }
 };
 
@@ -119,6 +124,20 @@ class Distribution {
   virtual Status GenerateJoint(const std::vector<double>& params,
                                const SampleContext& ctx,
                                std::vector<double>* out) const = 0;
+
+  /// Draws `n` consecutive samples (sample indices ctx.sample_index ..
+  /// ctx.sample_index + n - 1) into `out`, sample-major: sample s occupies
+  /// out[s * NumComponents(params) .. (s + 1) * NumComponents(params)).
+  /// The contract is strict bit-identity with the scalar path: for every s,
+  /// the written values must equal what GenerateJoint would produce at
+  /// sample index ctx.sample_index + s, which in turn requires each
+  /// sample's per-component word consumption (count and order) to match the
+  /// scalar code exactly. The default loops over GenerateJoint; hot
+  /// builtins override with two-pass kernels (contiguous word fill, then a
+  /// contiguous transform).
+  virtual Status GenerateBatch(const std::vector<double>& params,
+                               const SampleContext& ctx, uint64_t n,
+                               double* out) const;
 
   /// Marginal density (continuous) or probability mass (discrete) of
   /// `component` at `x`. Requires kPdf.

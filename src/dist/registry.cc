@@ -37,6 +37,28 @@ Status DistributionRegistry::Register(std::unique_ptr<Distribution> dist) {
     return Status::AlreadyExists("distribution '" + name +
                                  "' is already registered");
   }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status DistributionRegistry::RegisterOrReplace(
+    std::unique_ptr<Distribution> dist) {
+  if (dist == nullptr) {
+    return Status::InvalidArgument("cannot register a null distribution");
+  }
+  const std::string name = dist->name();
+  if (name.empty()) {
+    return Status::InvalidArgument("distribution name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dists_.find(name);
+  if (it != dists_.end()) {
+    retired_.push_back(std::move(it->second));
+    it->second = std::move(dist);
+  } else {
+    dists_.emplace(name, std::move(dist));
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #ifndef PIP_DIST_REGISTRY_H_
 #define PIP_DIST_REGISTRY_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,6 +41,21 @@ class DistributionRegistry {
   /// so a plugin cannot hijack e.g. "Normal" for existing variables.
   Status Register(std::unique_ptr<Distribution> dist);
 
+  /// Registers a plugin, replacing any existing entry of the same name —
+  /// the explicit override path for plugin upgrades. The displaced
+  /// instance is retained (not destroyed) so Lookup pointers and existing
+  /// variables bound to it stay valid; only *new* resolutions see the
+  /// replacement.
+  Status RegisterOrReplace(std::unique_ptr<Distribution> dist);
+
+  /// Monotone counter bumped by every successful Register /
+  /// RegisterOrReplace. Caches keyed on resolved plugins (e.g. the
+  /// sampling PlanCache) fold this into their keys so plugin churn
+  /// invalidates stale entries.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Resolves a class name. NotFound lists the name; the pointer stays
   /// valid for the registry's lifetime (process lifetime for Global()).
   StatusOr<const Distribution*> Lookup(const std::string& name) const;
@@ -54,6 +70,9 @@ class DistributionRegistry {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Distribution>> dists_;
+  /// Plugins displaced by RegisterOrReplace, kept alive for old pointers.
+  std::vector<std::unique_ptr<Distribution>> retired_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 /// Registers the standard library (Normal, Uniform, Exponential, Poisson,

@@ -126,4 +126,13 @@ Status VariablePool::GenerateJoint(uint64_t var_id, uint64_t sample_index,
   return Status::OK();
 }
 
+Status VariablePool::GenerateBatch(uint64_t var_id, uint64_t sample_begin,
+                                   uint64_t n, uint64_t attempt,
+                                   std::vector<double>* out) const {
+  PIP_ASSIGN_OR_RETURN(const VariableInfo* info, Info(var_id));
+  SampleContext ctx{seed_, var_id, sample_begin, attempt};
+  out->resize(n * info->num_components);
+  return info->dist->GenerateBatch(info->params, ctx, n, out->data());
+}
+
 }  // namespace pip

@@ -55,6 +55,9 @@ class VariablePool {
 
   uint64_t seed() const { return seed_; }
   size_t num_variables() const { return vars_.size(); }
+  /// The registry this pool resolves class names against (plan caches key
+  /// on its generation counter to observe plugin churn).
+  const DistributionRegistry& registry() const { return *registry_; }
 
   /// CREATE_VARIABLE: resolves `class_name`, validates `params`, and
   /// allocates a fresh variable. The returned VarRef addresses component
@@ -95,6 +98,13 @@ class VariablePool {
   /// Deterministic joint draw of every component of `var_id` into `*out`
   /// (resized to the class's dimensionality).
   Status GenerateJoint(uint64_t var_id, uint64_t sample_index,
+                       uint64_t attempt, std::vector<double>* out) const;
+
+  /// Deterministic joint draws for `n` consecutive sample indices starting
+  /// at `sample_begin`, sample-major into `*out` (resized to
+  /// n * num_components). Bit-identical to n GenerateJoint calls; hot
+  /// builtins run a batched kernel instead of the per-sample virtual loop.
+  Status GenerateBatch(uint64_t var_id, uint64_t sample_begin, uint64_t n,
                        uint64_t attempt, std::vector<double>* out) const;
 
  private:

@@ -232,6 +232,20 @@ struct SamplingEngine::GroupPlan {
   }
 };
 
+/// Per-chunk pre-drawn sample buffers for the batched draw path: for each
+/// target-touching plan, one sample-major value block per distinct
+/// var_id. Filled by one GenerateBatch call per (plan, var_id) — bit-
+/// identical to the per-sample GenerateJoint loop it replaces.
+struct SamplingEngine::PlanBatches {
+  struct VarBatch {
+    uint64_t var_id = 0;
+    uint32_t ncomp = 1;
+    std::vector<double> values;  // len * ncomp, sample-major.
+  };
+  /// Parallel to the plan vector; empty for non-target plans.
+  std::vector<std::vector<VarBatch>> per_plan;
+};
+
 /// Result of one shard of the expectation loop.
 struct SamplingEngine::ChunkOutcome {
   RunningStats stats;
@@ -755,6 +769,48 @@ void SamplingEngine::RunPilotedSchedule(std::vector<GroupPlan>* plans,
       [&](size_t c, Outcome& o) { return fold(c, o, /*cloned=*/true); });
 }
 
+bool SamplingEngine::BatchEligible(
+    const std::vector<GroupPlan>& plans) const {
+  if (!options_.use_batch_generation) return false;
+  bool any = false;
+  for (const auto& plan : plans) {
+    if (!plan.touches_target) continue;
+    any = true;
+    // With no atoms the scalar loop accepts every sample on attempt 0;
+    // with no chain and no windows the draw is a plain GenerateJoint per
+    // distinct id. Anything else keeps the per-sample loop (rejection
+    // retries and chains consume sample-dependent word counts).
+    if (plan.metropolis != nullptr || !plan.atoms.empty()) return false;
+    for (bool constrained : plan.cdf_constrained) {
+      if (constrained) return false;
+    }
+  }
+  return any;
+}
+
+Status SamplingEngine::FillPlanBatches(const std::vector<GroupPlan>& plans,
+                                       uint64_t sample_begin, uint64_t len,
+                                       uint64_t attempt,
+                                       PlanBatches* out) const {
+  out->per_plan.assign(plans.size(), {});
+  for (size_t g = 0; g < plans.size(); ++g) {
+    const GroupPlan& plan = plans[g];
+    if (!plan.touches_target) continue;
+    auto& batches = out->per_plan[g];
+    batches.reserve(plan.var_ids.size());
+    for (uint64_t id : plan.var_ids) {
+      PlanBatches::VarBatch vb;
+      vb.var_id = id;
+      PIP_ASSIGN_OR_RETURN(const VariableInfo* info, pool_->Info(id));
+      vb.ncomp = info->num_components;
+      PIP_RETURN_IF_ERROR(
+          pool_->GenerateBatch(id, sample_begin, len, attempt, &vb.values));
+      batches.push_back(std::move(vb));
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<bool> SamplingEngine::SampleGroupOnce(GroupPlan* plan,
                                                uint64_t sample_index,
                                                Assignment* assignment,
@@ -862,6 +918,40 @@ StatusOr<double> SamplingEngine::EstimateGroupProbability(
   };
   auto run_chunk = [&](uint64_t begin, uint64_t end, HitChunk* out) {
     size_t budget = ChunkAttemptBudget(end - begin, cap);
+    // Pre-draw the natural (window-free) variables for the whole chunk.
+    // Window-constrained draws stay scalar; each draw is a pure function
+    // of its sample index, so pre-drawn values a truncated chunk never
+    // consumes are invisible to the fold.
+    struct IdBatch {
+      uint64_t var_id = 0;
+      uint32_t ncomp = 1;
+      std::vector<double> values;
+    };
+    const bool use_batch = options_.use_batch_generation;
+    std::vector<IdBatch> batches;
+    if (use_batch) {
+      for (size_t i = 0; i < plan->vars.size(); ++i) {
+        if (plan->cdf_constrained[i]) continue;
+        if (i > 0 && plan->vars[i].var_id == plan->vars[i - 1].var_id) {
+          continue;
+        }
+        IdBatch b;
+        b.var_id = plan->vars[i].var_id;
+        auto info = pool_->Info(b.var_id);
+        if (!info.ok()) {
+          out->status = info.status();
+          return;
+        }
+        b.ncomp = info.value()->num_components;
+        Status s = pool_->GenerateBatch(b.var_id, options_.sample_offset + begin,
+                                        end - begin, kEstimateMarker, &b.values);
+        if (!s.ok()) {
+          out->status = s;
+          return;
+        }
+        batches.push_back(std::move(b));
+      }
+    }
     std::vector<double> joint;
     Assignment a;
     for (uint64_t idx = begin; idx < end; ++idx) {
@@ -870,6 +960,7 @@ StatusOr<double> SamplingEngine::EstimateGroupProbability(
         return;
       }
       uint64_t sample_index = options_.sample_offset + idx;
+      size_t bi = 0;  // Walks `batches` in the same order it was filled.
       for (size_t i = 0; i < plan->vars.size(); ++i) {
         const VarRef& v = plan->vars[i];
         if (plan->cdf_constrained[i]) {
@@ -892,6 +983,14 @@ StatusOr<double> SamplingEngine::EstimateGroupProbability(
           a.Set(v, x);
         } else if (i == 0 ||
                    plan->vars[i].var_id != plan->vars[i - 1].var_id) {
+          if (use_batch) {
+            const IdBatch& b = batches[bi++];
+            const double* row = b.values.data() + (idx - begin) * b.ncomp;
+            for (uint32_t comp = 0; comp < b.ncomp; ++comp) {
+              a.Set(VarRef{v.var_id, comp}, row[comp]);
+            }
+            continue;
+          }
           Status s = pool_->GenerateJoint(v.var_id, sample_index,
                                           kEstimateMarker, &joint);
           if (!s.ok()) {
@@ -965,6 +1064,24 @@ SamplingEngine::ChunkOutcome SamplingEngine::RunExpectationChunk(
     accepted0[g] = (*plans)[g].accepted;
     attempts0[g] = (*plans)[g].attempts;
   }
+  // Batched fast path: when every target group deterministically accepts
+  // each sample on its first attempt (no atoms / windows / chain), draw
+  // the chunk's whole range in one GenerateBatch call per variable and
+  // keep the scalar loop's counter arithmetic per index — bit-identical
+  // output, one virtual call per (plan, var) per chunk instead of per
+  // sample.
+  PlanBatches batches;
+  const bool use_batch = BatchEligible(*plans);
+  if (use_batch) {
+    Status s = FillPlanBatches(*plans, options_.sample_offset + begin,
+                               end - begin, /*attempt=*/0, &batches);
+    if (!s.ok()) {
+      out.status = s;
+      out.group_accepted.resize(plans->size());
+      out.group_attempts.resize(plans->size());
+      return out;
+    }
+  }
   Assignment assignment;
   for (uint64_t i = begin; i < end; ++i) {
     // A strictly earlier chunk's budget genuinely collapsed: the
@@ -980,17 +1097,38 @@ SamplingEngine::ChunkOutcome SamplingEngine::RunExpectationChunk(
     }
     assignment.Clear();
     bool got_all = true;
-    for (auto& plan : *plans) {
-      if (!plan.touches_target) continue;
-      auto ok = SampleGroupOnce(&plan, options_.sample_offset + i,
-                                &assignment, &out.attempts, attempt_budget);
-      if (!ok.ok()) {
-        out.status = ok.status();
-        break;
+    if (use_batch) {
+      // Mirrors SampleGroupOnce's accept-on-first-attempt arithmetic:
+      // budget check, then the per-plan attempt, then acceptance.
+      for (size_t g = 0; g < plans->size(); ++g) {
+        auto& plan = (*plans)[g];
+        if (!plan.touches_target) continue;
+        if (++out.attempts > attempt_budget) {
+          got_all = false;
+          break;
+        }
+        ++plan.attempts;
+        for (const auto& vb : batches.per_plan[g]) {
+          const double* row = vb.values.data() + (i - begin) * vb.ncomp;
+          for (uint32_t comp = 0; comp < vb.ncomp; ++comp) {
+            assignment.Set(VarRef{vb.var_id, comp}, row[comp]);
+          }
+        }
+        ++plan.accepted;
       }
-      if (!ok.value()) {
-        got_all = false;
-        break;
+    } else {
+      for (auto& plan : *plans) {
+        if (!plan.touches_target) continue;
+        auto ok = SampleGroupOnce(&plan, options_.sample_offset + i,
+                                  &assignment, &out.attempts, attempt_budget);
+        if (!ok.ok()) {
+          out.status = ok.status();
+          break;
+        }
+        if (!ok.value()) {
+          got_all = false;
+          break;
+        }
       }
     }
     if (!out.status.ok()) break;
@@ -1253,11 +1391,40 @@ StatusOr<double> SamplingEngine::JointConfidence(
     Status status = Status::OK();
   };
   auto run_chunk = [&](uint64_t begin, uint64_t end, HitChunk* out) {
+    // No atoms, windows, or chains here, so every variable qualifies for
+    // the batched draw path unconditionally.
+    const bool use_batch = options_.use_batch_generation;
+    std::vector<std::vector<double>> batch(ids.size());
+    std::vector<uint32_t> ncomp(ids.size(), 1);
+    if (use_batch) {
+      for (size_t j = 0; j < ids.size(); ++j) {
+        auto info = pool_->Info(ids[j]);
+        if (!info.ok()) {
+          out->status = info.status();
+          return;
+        }
+        ncomp[j] = info.value()->num_components;
+        Status s = pool_->GenerateBatch(ids[j], options_.sample_offset + begin,
+                                        end - begin, kAconfMarker, &batch[j]);
+        if (!s.ok()) {
+          out->status = s;
+          return;
+        }
+      }
+    }
     std::vector<double> joint;
     Assignment a;
     for (uint64_t idx = begin; idx < end; ++idx) {
       uint64_t sample_index = options_.sample_offset + idx;
-      for (uint64_t id : ids) {
+      for (size_t j = 0; j < ids.size(); ++j) {
+        const uint64_t id = ids[j];
+        if (use_batch) {
+          const double* row = batch[j].data() + (idx - begin) * ncomp[j];
+          for (uint32_t comp = 0; comp < ncomp[j]; ++comp) {
+            a.Set(VarRef{id, comp}, row[comp]);
+          }
+          continue;
+        }
         Status s = pool_->GenerateJoint(id, sample_index, kAconfMarker,
                                         &joint);
         if (!s.ok()) {
@@ -1341,6 +1508,17 @@ StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
   auto run_chunk = [&](std::vector<GroupPlan>* ps, size_t chunk_index,
                        uint64_t begin, uint64_t end, size_t budget,
                        CondChunk* out) {
+    // Batched draw path, same contract as RunExpectationChunk.
+    PlanBatches batches;
+    const bool use_batch = BatchEligible(*ps);
+    if (use_batch) {
+      Status s = FillPlanBatches(*ps, options_.sample_offset + begin,
+                                 end - begin, /*attempt=*/0, &batches);
+      if (!s.ok()) {
+        out->status = s;
+        return;
+      }
+    }
     Assignment assignment;
     for (uint64_t i = begin; i < end; ++i) {
       if (first_truncated.load(std::memory_order_relaxed) < chunk_index) {
@@ -1348,17 +1526,36 @@ StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
       }
       assignment.Clear();
       bool got_all = true;
-      for (auto& plan : *ps) {
-        if (!plan.touches_target) continue;
-        auto ok = SampleGroupOnce(&plan, options_.sample_offset + i,
-                                  &assignment, &out->attempts, budget);
-        if (!ok.ok()) {
-          out->status = ok.status();
-          return;
+      if (use_batch) {
+        for (size_t g = 0; g < ps->size(); ++g) {
+          auto& plan = (*ps)[g];
+          if (!plan.touches_target) continue;
+          if (++out->attempts > budget) {
+            got_all = false;
+            break;
+          }
+          ++plan.attempts;
+          for (const auto& vb : batches.per_plan[g]) {
+            const double* row = vb.values.data() + (i - begin) * vb.ncomp;
+            for (uint32_t comp = 0; comp < vb.ncomp; ++comp) {
+              assignment.Set(VarRef{vb.var_id, comp}, row[comp]);
+            }
+          }
+          ++plan.accepted;
         }
-        if (!ok.value()) {
-          got_all = false;
-          break;
+      } else {
+        for (auto& plan : *ps) {
+          if (!plan.touches_target) continue;
+          auto ok = SampleGroupOnce(&plan, options_.sample_offset + i,
+                                    &assignment, &out->attempts, budget);
+          if (!ok.ok()) {
+            out->status = ok.status();
+            return;
+          }
+          if (!ok.value()) {
+            got_all = false;
+            break;
+          }
         }
       }
       if (!got_all) {

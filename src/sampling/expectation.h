@@ -81,6 +81,12 @@ struct SamplingOptions {
   bool use_cdf_sampling = true;    ///< Inverse-CDF constrained sampling.
   bool use_independence = true;    ///< Minimal independent subset sampling.
   bool use_metropolis = true;      ///< MCMC fallback for tiny acceptance.
+  /// Batched draw kernels: unconstrained sampling loops request each
+  /// chunk's whole sample range in one GenerateBatch call per variable
+  /// instead of one virtual Generate per sample. Bit-identical to the
+  /// scalar path by the batch-draw contract (see README); off reproduces
+  /// the per-sample loop for the scalar-vs-batch ablation benches.
+  bool use_batch_generation = true;
   /// Exact numeric integration of single-variable expectations ("the
   /// expectation operator can ... potentially even sidestep [sampling]
   /// entirely", §III-A): when the target expression depends on one
@@ -160,6 +166,7 @@ class SamplingEngine {
  private:
   struct GroupPlan;
   struct ChunkOutcome;
+  struct PlanBatches;
 
   /// Builds per-group strategy plans. Sets *inconsistent when the
   /// condition is unsatisfiable. Structure-only planning decisions come
@@ -191,6 +198,20 @@ class SamplingEngine {
                                    size_t chunk_index,
                                    std::atomic<uint64_t>* first_collapsed)
       const;
+
+  /// True when every target-touching plan can take the batched draw path
+  /// for a whole chunk: no Metropolis chain, no atoms to re-check, no CDF
+  /// windows — i.e. the scalar loop would deterministically accept every
+  /// sample on its first attempt, so pre-drawing the chunk's whole range
+  /// per variable is observationally identical.
+  bool BatchEligible(const std::vector<GroupPlan>& plans) const;
+
+  /// Pre-draws `len` consecutive samples starting at absolute index
+  /// `sample_begin` (attempt `attempt`) for every variable of every
+  /// target-touching plan, one GenerateBatch call per (plan, var_id).
+  Status FillPlanBatches(const std::vector<GroupPlan>& plans,
+                         uint64_t sample_begin, uint64_t len,
+                         uint64_t attempt, PlanBatches* out) const;
 
   /// Attempt budget for one shard of `chunk_len` samples out of a
   /// schedule of `schedule_len`. The pilot shard (chunk 0) gets the full

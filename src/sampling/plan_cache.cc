@@ -77,7 +77,12 @@ std::string PlanCache::ShapeKey(const Condition& condition,
                                 std::vector<VarRef>* canon_vars) {
   KeyBuilder b;
   b.pool = &pool;
-  b.out += 'F';
+  // Registry generation first: re-registering a plugin under an existing
+  // name changes capabilities behind an unchanged class name, so skeletons
+  // built before the swap must not be served after it.
+  b.out += 'G';
+  b.out += std::to_string(pool.registry().generation());
+  b.out += "|F";
   b.out += std::to_string(flag_bits);
   for (const auto& atom : condition.atoms()) {
     b.out += "|A";

@@ -21,7 +21,9 @@
 /// numbering follows first appearance so the key also encodes which atoms
 /// share variables. Engine flags that change planning decisions
 /// (use_independence, use_exact_cdf, use_cdf_sampling) are folded into
-/// the key so one cache serves reconfigured engine copies safely.
+/// the key so one cache serves reconfigured engine copies safely, as is
+/// the DistributionRegistry generation counter so plugin re-registration
+/// under an existing class name invalidates stale skeletons.
 
 #ifndef PIP_SAMPLING_PLAN_CACHE_H_
 #define PIP_SAMPLING_PLAN_CACHE_H_

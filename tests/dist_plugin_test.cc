@@ -175,6 +175,43 @@ class PdfOnlyUnitDist : public Distribution {
   }
 };
 
+/// U(0,1) plugin whose declared capabilities are chosen at construction;
+/// two instances sharing one class name model a plugin upgrade that swaps
+/// capabilities behind an unchanged name — the scenario the registry
+/// generation counter (and the plan cache keying on it) exists for.
+class SwappableUnitDist : public Distribution {
+ public:
+  SwappableUnitDist(std::string name, bool with_cdf)
+      : name_(std::move(name)), with_cdf_(with_cdf) {}
+  const std::string& name() const override { return name_; }
+  DomainKind domain() const override { return DomainKind::kContinuous; }
+  uint32_t Capabilities() const override {
+    return with_cdf_ ? (kGenerate | kCdf) : kGenerate;
+  }
+  Status ValidateParams(const std::vector<double>& p) const override {
+    return p.empty() ? Status::OK()
+                     : Status::InvalidArgument(name_ + " takes no params");
+  }
+  Status GenerateJoint(const std::vector<double>&, const SampleContext& ctx,
+                       std::vector<double>* out) const override {
+    RandomStream stream = ctx.StreamFor(0);
+    out->assign(1, stream.NextUniform());
+    return Status::OK();
+  }
+  StatusOr<double> Cdf(const std::vector<double>&, uint32_t,
+                       double x) const override {
+    if (!with_cdf_) return Status::Unimplemented(name_ + ": no Cdf");
+    return std::min(1.0, std::max(0.0, x));
+  }
+  Interval Support(const std::vector<double>&, uint32_t) const override {
+    return Interval(0.0, 1.0);
+  }
+
+ private:
+  std::string name_;
+  bool with_cdf_;
+};
+
 /// Registers the test plugins into the process registry once per binary.
 void EnsureTestPlugins() {
   static const bool done = [] {
@@ -211,6 +248,52 @@ TEST(PluginRegistryTest, DuplicateUserRegistrationRejected) {
                 .Register(std::make_unique<TriangularDist>())
                 .code(),
             StatusCode::kAlreadyExists);
+}
+
+TEST(PluginRegistryTest, GenerationCountsSuccessfulRegistrations) {
+  DistributionRegistry local;
+  const uint64_t g0 = local.generation();
+  ASSERT_TRUE(
+      local.Register(std::make_unique<SwappableUnitDist>("SwapA", true))
+          .ok());
+  EXPECT_EQ(local.generation(), g0 + 1);
+  // Failed registrations must not bump: plan caches keyed on the counter
+  // would otherwise discard valid skeletons for nothing.
+  EXPECT_FALSE(local.Register(nullptr).ok());
+  EXPECT_FALSE(
+      local.Register(std::make_unique<SwappableUnitDist>("SwapA", true))
+          .ok());
+  EXPECT_EQ(local.generation(), g0 + 1);
+  ASSERT_TRUE(local
+                  .RegisterOrReplace(
+                      std::make_unique<SwappableUnitDist>("SwapA", false))
+                  .ok());
+  EXPECT_EQ(local.generation(), g0 + 2);
+  // RegisterOrReplace of a brand-new name registers and bumps too.
+  ASSERT_TRUE(local
+                  .RegisterOrReplace(
+                      std::make_unique<SwappableUnitDist>("SwapB", true))
+                  .ok());
+  EXPECT_EQ(local.generation(), g0 + 3);
+}
+
+TEST(PluginRegistryTest, RegisterOrReplaceRetiresButKeepsOldInstance) {
+  DistributionRegistry local;
+  ASSERT_TRUE(
+      local.Register(std::make_unique<SwappableUnitDist>("Swap", true)).ok());
+  const Distribution* v1 = local.Lookup("Swap").value();
+  ASSERT_TRUE(v1->Capabilities() & kCdf);
+  ASSERT_TRUE(
+      local
+          .RegisterOrReplace(std::make_unique<SwappableUnitDist>("Swap", false))
+          .ok());
+  const Distribution* v2 = local.Lookup("Swap").value();
+  EXPECT_NE(v1, v2);
+  EXPECT_FALSE(v2->Capabilities() & kCdf);
+  // The displaced instance must stay alive: variables created before the
+  // swap hold VariableInfo::dist pointers into it.
+  EXPECT_EQ(v1->name(), "Swap");
+  EXPECT_TRUE(v1->Capabilities() & kCdf);
 }
 
 TEST(PluginRegistryTest, NamesListsBuiltinsAndPlugins) {
@@ -480,6 +563,56 @@ TEST(PluginEndToEndTest, SqlInsertConstructsUserDistribution) {
               0.02);
   EXPECT_NEAR(r.table.Get(0, "conf").value().double_value(), kTriTailProb,
               0.01);
+}
+
+TEST(PluginEndToEndTest, ReplacedPluginInvalidatesCachedPlansAcrossSqlInsert) {
+  // One engine held open across a RegisterOrReplace. The skeleton cached
+  // while "SwappableSql" declared a CDF says the condition shape is
+  // exact-CDF-eligible; after the swap to a generate-only version, a
+  // variable of the SAME class name arriving via SQL INSERT must not be
+  // served that stale skeleton (the exact tier would route Cdf calls into
+  // a plugin without one). The registry generation folded into the shape
+  // key forces a fresh plan.
+  auto& reg = DistributionRegistry::Global();
+  ASSERT_TRUE(
+      reg.RegisterOrReplace(
+             std::make_unique<SwappableUnitDist>("SwappableSql", true))
+          .ok());
+  Database db(909);
+  sql::Session session(&db);
+  auto run = [&](const std::string& stmt) {
+    auto r = session.Execute(stmt);
+    PIP_CHECK_MSG(r.ok(), r.status().ToString());
+  };
+  run("CREATE TABLE m (v)");
+
+  SamplingOptions opts;
+  opts.fixed_samples = 20000;
+  SamplingEngine engine = db.MakeEngine(opts);
+
+  run("INSERT INTO m VALUES (SwappableSql())");
+  VarRef x1{db.pool()->num_variables(), 0};  // Ids count up from 1.
+  auto r1 = engine.Confidence(Condition(Expr::Var(x1) < Expr::Constant(0.25)))
+                .value();
+  EXPECT_TRUE(r1.exact);  // CDF-capable version: exact tier, plan cached.
+  EXPECT_NEAR(r1.probability, 0.25, 1e-12);
+
+  ASSERT_TRUE(
+      reg.RegisterOrReplace(
+             std::make_unique<SwappableUnitDist>("SwappableSql", false))
+          .ok());
+  run("INSERT INTO m VALUES (SwappableSql())");
+  VarRef x2{db.pool()->num_variables(), 0};
+  auto r2 = engine.Confidence(Condition(Expr::Var(x2) < Expr::Constant(0.25)));
+  ASSERT_TRUE(r2.ok()) << r2.status().message();  // Stale plan errors here.
+  EXPECT_FALSE(r2.value().exact);
+  EXPECT_NEAR(r2.value().probability, 0.25, 0.02);
+
+  // The pre-swap variable still answers through its retired instance
+  // (conservatively via sampling if the new same-shape skeleton governs).
+  auto r3 = engine.Confidence(Condition(Expr::Var(x1) < Expr::Constant(0.25)));
+  ASSERT_TRUE(r3.ok()) << r3.status().message();
+  EXPECT_NEAR(r3.value().probability, 0.25, 0.02);
 }
 
 TEST(PluginEndToEndTest, SqlRejectsUnknownAndInvalidConstructors) {

@@ -73,6 +73,46 @@ TEST(RandomStreamTest, BoundedStaysInRange) {
   EXPECT_EQ(seen.size(), 10u);  // All values hit in 1000 draws.
 }
 
+TEST(RandomStreamTest, FillBitsMatchesScalarNextBits) {
+  RandomStream scalar(11, 22, 33, 44);
+  std::vector<uint64_t> expect(100);
+  for (auto& w : expect) w = scalar.NextBits();
+  RandomStream block(11, 22, 33, 44);
+  std::vector<uint64_t> got(100);
+  block.FillBits(got.data(), got.size());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(RandomStreamTest, FillUniformsMatchesScalarNextUniform) {
+  RandomStream scalar(5, 6, 7, 8);
+  std::vector<double> expect(100);
+  for (auto& u : expect) u = scalar.NextUniform();
+  RandomStream block(5, 6, 7, 8);
+  std::vector<double> got(100);
+  block.FillUniforms(got.data(), got.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expect[i]);
+}
+
+TEST(RandomStreamTest, BlockAndScalarCallsInterleaveOnOneCounter) {
+  // Fills advance the same counter NextBits uses, so a consumer can mix
+  // block and scalar reads freely and still replay the stream.
+  RandomStream reference(3, 1, 4, 1);
+  std::vector<uint64_t> expect(20);
+  for (auto& w : expect) w = reference.NextBits();
+
+  RandomStream mixed(3, 1, 4, 1);
+  std::vector<uint64_t> got;
+  uint64_t buf[8];
+  mixed.FillBits(buf, 5);  // Words 0..4.
+  got.insert(got.end(), buf, buf + 5);
+  got.push_back(mixed.NextBits());  // Word 5.
+  mixed.FillBits(buf, 0);           // Empty fill: counter untouched.
+  mixed.FillBits(buf, 8);           // Words 6..13.
+  got.insert(got.end(), buf, buf + 8);
+  for (int i = 0; i < 6; ++i) got.push_back(mixed.NextBits());  // 14..19.
+  EXPECT_EQ(got, expect);
+}
+
 TEST(MixBitsTest, AvalancheOnSingleBitFlip) {
   // Flipping one input bit should flip roughly half the output bits.
   uint64_t a = MixBits(1, 2, 3, 4);

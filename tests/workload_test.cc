@@ -215,16 +215,32 @@ TEST(IcebergTest, SampleFirstHasVisibleError) {
   config.num_ships = 8;
   IcebergData data = GenerateIceberg(config);
   std::vector<double> truth = IcebergTruth(data, config);
-  SeriesResult sf = RunIcebergSampleFirst(data, config, 2000, 7).value();
+  const size_t kWorlds = 2000;
+  SeriesResult sf = RunIcebergSampleFirst(data, config, kWorlds, 7).value();
+  // Acceptance window from the estimator's own statistics instead of
+  // hard-coded constants: each per-ship estimate is a binomial proportion
+  // over kWorlds worlds, so its relative standard error is
+  // sigma_i = sqrt((1 - t_i) / (t_i * kWorlds)). The max over ships of
+  // |err| / t_i should be on the order of the largest such sigma — well
+  // above a small fraction of it (sampling noise is visible, the point of
+  // the figure) and well below a many-sigma blowout (the estimator is
+  // unbiased). The window is wide enough to absorb the max-statistic over
+  // 8 correlated ships without going flaky, yet scales correctly if
+  // kWorlds or the workload shape changes.
   double max_rel_err = 0.0;
+  double max_sigma = 0.0;
   for (size_t i = 0; i < truth.size(); ++i) {
     if (truth[i] > 1e-6) {
       max_rel_err = std::max(
           max_rel_err, std::fabs(sf.per_item[i] - truth[i]) / truth[i]);
+      max_sigma = std::max(
+          max_sigma, std::sqrt((1.0 - truth[i]) /
+                               (truth[i] * static_cast<double>(kWorlds))));
     }
   }
-  EXPECT_GT(max_rel_err, 0.01);  // Counting noise is visible...
-  EXPECT_LT(max_rel_err, 1.0);   // ...but the estimate is in the ballpark.
+  ASSERT_GT(max_sigma, 0.0);
+  EXPECT_GT(max_rel_err, 0.05 * max_sigma);  // Counting noise is visible...
+  EXPECT_LT(max_rel_err, 6.0 * max_sigma);   // ...but unbiased: no blowout.
 }
 
 }  // namespace
