@@ -66,7 +66,10 @@ int main() {
   SamplingEngine engine = db.MakeEngine();
   AggregateEvaluator agg(&engine);
 
-  const CTable& view = *db.GetTable("at_risk").value();
+  // Hold the snapshot: GetTable returns a shared_ptr that must outlive
+  // the reference.
+  std::shared_ptr<const CTable> view_snapshot = db.GetTable("at_risk").value();
+  const CTable& view = *view_snapshot;
   double expected_loss = agg.ExpectedSum(view, "profit").value();
   double customers_at_risk = agg.ExpectedCount(view).value();
   std::printf("Revenue at risk from slower shipping: %.0f\n", expected_loss);

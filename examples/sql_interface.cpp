@@ -17,12 +17,12 @@ namespace {
 
 void Run(sql::Session& session, const std::string& stmt) {
   std::printf("pip> %s\n", stmt.c_str());
-  auto result = session.Execute(stmt);
+  sql::SqlResult result = session.Execute(stmt);
   if (!result.ok()) {
-    std::printf("  !! %s\n\n", result.status().ToString().c_str());
+    std::printf("  !! %s\n\n", result.ToString().c_str());
     return;
   }
-  std::printf("%s\n", result.value().ToString().c_str());
+  std::printf("%s\n", result.ToString().c_str());
 }
 
 }  // namespace

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Inconsistent";
     case StatusCode::kTypeMismatch:
       return "TypeMismatch";
+    case StatusCode::kParseError:
+      return "ParseError";
   }
   return "Unknown";
 }

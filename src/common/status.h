@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the engine.
   kInconsistent,      ///< A c-table condition is unsatisfiable (NAN result).
   kTypeMismatch,      ///< Value/schema type error.
+  kParseError,        ///< Statement text could not be parsed (SQL layer).
 };
 
 /// Human-readable name of a status code.
@@ -67,6 +68,9 @@ class Status {
   }
   static Status TypeMismatch(std::string msg) {
     return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

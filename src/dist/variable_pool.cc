@@ -2,6 +2,12 @@
 
 namespace pip {
 
+VariablePool::~VariablePool() {
+  for (auto& slot : blocks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
+}
+
 StatusOr<VarRef> VariablePool::Create(const std::string& class_name,
                                       std::vector<double> params) {
   PIP_ASSIGN_OR_RETURN(const Distribution* dist,
@@ -19,8 +25,22 @@ StatusOr<VarRef> VariablePool::Create(const std::string& class_name,
   info.params = std::move(params);
   info.num_components = static_cast<uint32_t>(components);
   std::lock_guard<std::mutex> lock(create_mu_);
-  vars_.push_back(std::move(info));
-  return VarRef{static_cast<uint64_t>(vars_.size()), 0};
+  size_t idx = num_vars_.load(std::memory_order_relaxed);
+  if (idx >= kMaxBlocks * kBlockSize) {
+    return Status::OutOfRange("variable pool exhausted (" +
+                              std::to_string(idx) + " variables)");
+  }
+  std::atomic<VariableInfo*>& slot = blocks_[idx >> kBlockBits];
+  VariableInfo* block = slot.load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new VariableInfo[kBlockSize];
+    slot.store(block, std::memory_order_release);
+  }
+  block[idx & (kBlockSize - 1)] = std::move(info);
+  // Publish: readers that see the new count also see the block pointer
+  // and the fully constructed entry.
+  num_vars_.store(idx + 1, std::memory_order_release);
+  return VarRef{static_cast<uint64_t>(idx + 1), 0};
 }
 
 StatusOr<const VariableInfo*> VariablePool::Info(uint64_t var_id) const {

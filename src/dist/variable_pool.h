@@ -16,7 +16,9 @@
 #ifndef PIP_DIST_VARIABLE_POOL_H_
 #define PIP_DIST_VARIABLE_POOL_H_
 
-#include <deque>
+#include <array>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -38,9 +40,13 @@ struct VariableInfo {
 
 /// \brief Allocates VarRefs and mediates all distribution access.
 ///
-/// Thread model: `Create` is internally synchronized; all read/query
-/// methods are lock-free and may run concurrently with each other, but
-/// not with `Create` (create variables before fanning out samplers).
+/// Thread model: `Create` is internally synchronized and may run
+/// concurrently with every read/query method; reads stay lock-free. The
+/// store is a fixed two-level block table — blocks are allocated under
+/// the create lock, never moved, and published with a release store of
+/// the variable count, so a reader that passes the bounds check always
+/// sees a fully constructed VariableInfo. This is what lets server
+/// sessions INSERT (allocating variables) while other sessions sample.
 class VariablePool {
  public:
   static constexpr uint64_t kDefaultSeed = 0x1cde2010ULL;
@@ -52,9 +58,14 @@ class VariablePool {
       : seed_(seed),
         registry_(registry != nullptr ? registry
                                       : &DistributionRegistry::Global()) {}
+  ~VariablePool();
+  VariablePool(const VariablePool&) = delete;
+  VariablePool& operator=(const VariablePool&) = delete;
 
   uint64_t seed() const { return seed_; }
-  size_t num_variables() const { return vars_.size(); }
+  size_t num_variables() const {
+    return num_vars_.load(std::memory_order_acquire);
+  }
   /// The registry this pool resolves class names against (plan caches key
   /// on its generation counter to observe plugin churn).
   const DistributionRegistry& registry() const { return *registry_; }
@@ -108,9 +119,21 @@ class VariablePool {
                        uint64_t attempt, std::vector<double>* out) const;
 
  private:
+  /// Two-level store geometry: 512 variables per block, up to 8192
+  /// blocks (4M variables). Block pointers are stable for the pool's
+  /// lifetime once published.
+  static constexpr size_t kBlockBits = 9;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kMaxBlocks = size_t{1} << 13;
+
   const VariableInfo* InfoOrNull(uint64_t var_id) const {
-    return var_id >= 1 && var_id <= vars_.size() ? &vars_[var_id - 1]
-                                                 : nullptr;
+    if (var_id < 1 || var_id > num_vars_.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    size_t idx = static_cast<size_t>(var_id - 1);
+    const VariableInfo* block =
+        blocks_[idx >> kBlockBits].load(std::memory_order_acquire);
+    return &block[idx & (kBlockSize - 1)];
   }
   /// Info plus component bounds check, as a Status for the Or-returning
   /// accessors.
@@ -119,8 +142,8 @@ class VariablePool {
   uint64_t seed_;
   const DistributionRegistry* registry_;
   std::mutex create_mu_;
-  /// Deque keeps VariableInfo pointers stable across Create calls.
-  std::deque<VariableInfo> vars_;
+  std::atomic<size_t> num_vars_{0};
+  std::array<std::atomic<VariableInfo*>, kMaxBlocks> blocks_{};
 };
 
 }  // namespace pip

@@ -124,7 +124,8 @@ StatusOr<CTable> ExecuteNode(const Query::Node* node, const Database& db) {
   using Kind = Query::Node::Kind;
   switch (node->kind) {
     case Kind::kScan: {
-      PIP_ASSIGN_OR_RETURN(const CTable* t, db.GetTable(node->table_name));
+      PIP_ASSIGN_OR_RETURN(std::shared_ptr<const CTable> t,
+                           db.GetTable(node->table_name));
       return *t;
     }
     case Kind::kValues:

@@ -131,6 +131,16 @@ class SamplingEngine {
         options_(options),
         plan_cache_(std::make_shared<PlanCache>()) {}
 
+  /// Engine sharing an external plan cache (the Database hands every
+  /// session's engine its process-lifetime cache, so concurrent server
+  /// sessions amortize planning across statements and connections).
+  SamplingEngine(const VariablePool* pool, SamplingOptions options,
+                 std::shared_ptr<PlanCache> plan_cache)
+      : pool_(pool),
+        options_(options),
+        plan_cache_(plan_cache != nullptr ? std::move(plan_cache)
+                                          : std::make_shared<PlanCache>()) {}
+
   const SamplingOptions& options() const { return options_; }
   SamplingOptions* mutable_options() { return &options_; }
   const VariablePool& pool() const { return *pool_; }

@@ -1,0 +1,35 @@
+#include "src/server/admission.h"
+
+#include <chrono>
+
+namespace pip {
+namespace server {
+
+AdmissionGate::Ticket AdmissionGate::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t wait_us = 0;
+  if (capacity_ != 0 && stats_.in_flight >= capacity_) {
+    auto start = std::chrono::steady_clock::now();
+    cv_.wait(lock, [&] { return stats_.in_flight < capacity_; });
+    wait_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ++stats_.queued;
+    stats_.total_wait_us += wait_us;
+  }
+  ++stats_.admitted;
+  ++stats_.in_flight;
+  return Ticket(this, wait_us);
+}
+
+void AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.in_flight;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace server
+}  // namespace pip

@@ -1,0 +1,106 @@
+/// \file admission.h
+/// \brief Admission control for sampling statements.
+///
+/// Monte Carlo statements (anything invoking a probability-removing
+/// function) each fan out across the shared thread pool; letting every
+/// connection run one simultaneously just makes them time-slice each
+/// other's pool shares and blows up tail latency. The gate bounds how
+/// many sampling statements run at once: excess statements queue FIFO
+/// and report their queue wait in the wire response, so clients can see
+/// admission delay separately from execution time.
+///
+/// C++17 has no std::counting_semaphore, so this is the classic
+/// mutex + condvar counting semaphore, plus wait-time measurement and
+/// occupancy stats.
+
+#ifndef PIP_SERVER_ADMISSION_H_
+#define PIP_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace pip {
+namespace server {
+
+/// \brief Bounds the number of concurrently executing sampling
+/// statements.
+class AdmissionGate {
+ public:
+  /// \brief Holds one admission slot; releases it on destruction.
+  ///
+  /// Movable so Acquire can return it by value; moved-from tickets
+  /// release nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : gate_(other.gate_), wait_us_(other.wait_us_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        wait_us_ = other.wait_us_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    /// Microseconds this statement queued before admission.
+    uint64_t wait_us() const { return wait_us_; }
+
+   private:
+    friend class AdmissionGate;
+    Ticket(AdmissionGate* gate, uint64_t wait_us)
+        : gate_(gate), wait_us_(wait_us) {}
+    void Release() {
+      if (gate_ != nullptr) gate_->Release();
+      gate_ = nullptr;
+    }
+
+    AdmissionGate* gate_ = nullptr;
+    uint64_t wait_us_ = 0;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;        ///< Total tickets granted.
+    uint64_t queued = 0;          ///< Tickets that had to wait.
+    uint64_t total_wait_us = 0;   ///< Sum of all queue waits.
+    size_t in_flight = 0;         ///< Currently held tickets.
+  };
+
+  /// `capacity` = max concurrently admitted statements; 0 = unlimited
+  /// (the gate degenerates to a wait-free counter).
+  explicit AdmissionGate(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Blocks until a slot is free, then returns the held ticket.
+  Ticket Acquire();
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Release();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Stats stats_;
+};
+
+}  // namespace server
+}  // namespace pip
+
+#endif  // PIP_SERVER_ADMISSION_H_

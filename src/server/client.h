@@ -1,0 +1,54 @@
+/// \file client.h
+/// \brief Minimal PIP1 protocol client.
+///
+/// Used by the server tests and the pip-client load generator; small
+/// enough to double as reference code for writing clients in other
+/// languages: connect, read the greeting frame, check the version token,
+/// then alternate statement frames and response frames.
+
+#ifndef PIP_SERVER_CLIENT_H_
+#define PIP_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/wire.h"
+
+namespace pip {
+namespace server {
+
+/// \brief One blocking client connection. Not thread-safe; use one
+/// Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), greeting_(std::move(other.greeting_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and validates the server's greeting frame (protocol
+  /// version check).
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Sends one statement and blocks for its decoded response.
+  StatusOr<WireResponse> Execute(const std::string& statement);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// The raw greeting payload, e.g. "PIP1 sql".
+  const std::string& greeting() const { return greeting_; }
+
+ private:
+  int fd_ = -1;
+  std::string greeting_;
+};
+
+}  // namespace server
+}  // namespace pip
+
+#endif  // PIP_SERVER_CLIENT_H_

@@ -1,0 +1,135 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/server/wire.h"
+#include "src/sql/session.h"
+
+namespace pip {
+namespace server {
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::Internal("server already started");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Internal(std::string("bind failed: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status = Status::Internal(std::string("listen failed: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    Status status = Status::Internal(std::string("getsockname failed: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener shut down (or unrecoverable accept error).
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    live_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  // Versioned greeting: clients check the leading token before sending.
+  if (WriteFrame(fd, std::string(kProtocolVersion) + " sql").ok()) {
+    sql::Session session(db_);
+    std::string statement;
+    while (!stopping_.load(std::memory_order_acquire)) {
+      auto more = ReadFrame(fd, &statement);
+      if (!more.ok() || !more.value()) break;
+
+      uint64_t queue_us = 0;
+      AdmissionGate::Ticket ticket;
+      // Gate only statements that will actually run Monte Carlo
+      // sampling; DDL/DML and symbolic SELECTs stay cheap and ungated.
+      if (sql::StatementMaySample(statement)) {
+        ticket = gate_.Acquire();
+        queue_us = ticket.wait_us();
+      }
+      sql::SqlResult result = session.Execute(statement);
+      if (!WriteFrame(fd, EncodeResponse(result, queue_us)).ok()) break;
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_fds_.erase(fd);
+}
+
+void Server::Stop() {
+  if (listen_fd_ < 0) return;
+  bool was_stopping = stopping_.exchange(true, std::memory_order_acq_rel);
+  if (!was_stopping) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Kick live connections out of blocking reads; their threads then
+    // fall through to cleanup on their own.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // No new threads can appear now (accept loop is dead), so the vector
+  // is stable enough to join without holding the lock.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace server
+}  // namespace pip

@@ -1,0 +1,147 @@
+#include "src/sql/knobs.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace pip {
+namespace sql {
+
+namespace {
+
+std::string ToUpperCopy(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+std::string RenderCount(size_t v) { return std::to_string(v); }
+
+std::string RenderDouble(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+StatusOr<size_t> AsCount(const std::string& name, double value) {
+  if (value < 0 || value != std::floor(value)) {
+    return Status::InvalidArgument("SET " + name +
+                                   " expects a non-negative integer");
+  }
+  return static_cast<size_t>(value);
+}
+
+// The registry itself. Sorted by name; SHOW KNOBS renders it in this
+// order.
+const std::vector<KnobDef>& Registry() {
+  static const std::vector<KnobDef>* knobs = new std::vector<KnobDef>{
+      {"CHUNK_SAMPLES",
+       "samples per shard chunk (determinism schedule; must be >= 1)",
+       [](const SamplingOptions& o) { return RenderCount(o.chunk_samples); },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(size_t n, AsCount("CHUNK_SAMPLES", v));
+         if (n == 0) {
+           return Status::InvalidArgument(
+               "SET CHUNK_SAMPLES expects a positive integer");
+         }
+         o->chunk_samples = n;
+         return Status::OK();
+       }},
+      {"DELTA", "relative precision target for adaptive stopping",
+       [](const SamplingOptions& o) { return RenderDouble(o.delta); },
+       [](SamplingOptions* o, double v) {
+         if (!(v > 0.0)) {
+           return Status::InvalidArgument("SET DELTA expects a positive value");
+         }
+         o->delta = v;
+         return Status::OK();
+       }},
+      {"EPSILON", "confidence parameter of the adaptive stopping rule",
+       [](const SamplingOptions& o) { return RenderDouble(o.epsilon); },
+       [](SamplingOptions* o, double v) {
+         // (1 - epsilon) feeds ErfInv; outside (0, 1) the stopping rule
+         // degenerates (negative or NaN z).
+         if (!(v > 0.0 && v < 1.0)) {
+           return Status::InvalidArgument(
+               "SET EPSILON expects a value in (0, 1)");
+         }
+         o->epsilon = v;
+         return Status::OK();
+       }},
+      {"FIXED_SAMPLES",
+       "exact sample count (0 = adaptive epsilon/delta stopping)",
+       [](const SamplingOptions& o) { return RenderCount(o.fixed_samples); },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(o->fixed_samples, AsCount("FIXED_SAMPLES", v));
+         return Status::OK();
+       }},
+      {"MAX_SAMPLES", "adaptive stopping sample ceiling",
+       [](const SamplingOptions& o) { return RenderCount(o.max_samples); },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(o->max_samples, AsCount("MAX_SAMPLES", v));
+         return Status::OK();
+       }},
+      {"MIN_SAMPLES", "adaptive stopping sample floor",
+       [](const SamplingOptions& o) { return RenderCount(o.min_samples); },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(o->min_samples, AsCount("MIN_SAMPLES", v));
+         return Status::OK();
+       }},
+      {"NUM_THREADS", "sampling worker threads (0 = hardware concurrency)",
+       [](const SamplingOptions& o) { return RenderCount(o.num_threads); },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(o->num_threads, AsCount("NUM_THREADS", v));
+         return Status::OK();
+       }},
+      {"SAMPLE_OFFSET",
+       "offset into the deterministic sample-index space (fresh runs)",
+       [](const SamplingOptions& o) {
+         return RenderCount(static_cast<size_t>(o.sample_offset));
+       },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(size_t offset, AsCount("SAMPLE_OFFSET", v));
+         o->sample_offset = offset;
+         return Status::OK();
+       }},
+  };
+  return *knobs;
+}
+
+}  // namespace
+
+const std::vector<KnobDef>& KnobRegistry() { return Registry(); }
+
+StatusOr<const KnobDef*> FindKnob(const std::string& name) {
+  std::string upper = ToUpperCopy(name);
+  for (const KnobDef& knob : Registry()) {
+    if (knob.name == upper) return &knob;
+  }
+  return Status::NotFound("unknown knob '" + name + "'");
+}
+
+Status SetKnob(SamplingOptions* options, const std::string& name,
+               double value) {
+  PIP_ASSIGN_OR_RETURN(const KnobDef* knob, FindKnob(name));
+  return knob->set(options, value);
+}
+
+Status SetKnobFromSpec(SamplingOptions* options, const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+    return Status::InvalidArgument("knob spec '" + spec +
+                                   "' is not NAME=VALUE");
+  }
+  const std::string name = spec.substr(0, eq);
+  const std::string text = spec.substr(eq + 1);
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("knob value '" + text +
+                                   "' is not a number");
+  }
+  return SetKnob(options, name, value);
+}
+
+}  // namespace sql
+}  // namespace pip

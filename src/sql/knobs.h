@@ -1,0 +1,49 @@
+/// \file knobs.h
+/// \brief Declarative registry of the session sampling knobs.
+///
+/// One table maps knob names to parse/validate/set/get behavior on
+/// SamplingOptions. Every surface that tunes options goes through it:
+/// the SQL `SET <knob> = <value>` statement, `SHOW KNOBS`, and the
+/// pip-server `--set NAME=VALUE` startup flags — so a knob added here is
+/// immediately available everywhere, with one validator.
+
+#ifndef PIP_SQL_KNOBS_H_
+#define PIP_SQL_KNOBS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sampling/expectation.h"
+
+namespace pip {
+namespace sql {
+
+/// \brief One tunable knob on SamplingOptions.
+struct KnobDef {
+  std::string name;  ///< Canonical upper-case name, e.g. "NUM_THREADS".
+  std::string help;  ///< One-line description for SHOW KNOBS.
+  /// Current value rendered for SHOW KNOBS / diagnostics.
+  std::string (*get)(const SamplingOptions&);
+  /// Validates and applies `value`; error Status on rejection.
+  Status (*set)(SamplingOptions*, double value);
+};
+
+/// The registry, sorted by name.
+const std::vector<KnobDef>& KnobRegistry();
+
+/// The definition of `name` (case-insensitive); NotFound for unknown
+/// knobs.
+StatusOr<const KnobDef*> FindKnob(const std::string& name);
+
+/// Validates and applies one knob (case-insensitive name).
+Status SetKnob(SamplingOptions* options, const std::string& name,
+               double value);
+
+/// Applies a "NAME=VALUE" spec (the server startup-flag form).
+Status SetKnobFromSpec(SamplingOptions* options, const std::string& spec);
+
+}  // namespace sql
+}  // namespace pip
+
+#endif  // PIP_SQL_KNOBS_H_

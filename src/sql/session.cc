@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/sql/knobs.h"
 #include "src/sql/lexer.h"
 
 namespace pip {
@@ -54,6 +55,58 @@ std::optional<FuncKind> ScalarFunc(const std::string& upper) {
   return std::nullopt;
 }
 
+/// Column-kind classification of one deterministic value.
+ColumnKind KindOfValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return ColumnKind::kNull;
+    case ValueType::kBool:
+      return ColumnKind::kBool;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return ColumnKind::kNumeric;
+    case ValueType::kString:
+      return ColumnKind::kText;
+  }
+  return ColumnKind::kMixed;
+}
+
+/// Folds a cell kind into a column's running kind (NULL cells defer to
+/// the other cells; disagreement goes to kMixed; symbolic dominates).
+ColumnKind MergeKind(ColumnKind column, ColumnKind cell) {
+  if (column == ColumnKind::kSymbolic || cell == ColumnKind::kSymbolic) {
+    return ColumnKind::kSymbolic;
+  }
+  if (column == ColumnKind::kNull) return cell;
+  if (cell == ColumnKind::kNull) return column;
+  return column == cell ? column : ColumnKind::kMixed;
+}
+
+std::vector<SqlColumn> ColumnsOf(const Table& t) {
+  std::vector<SqlColumn> cols(t.schema().size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    cols[c].name = t.schema().name(c);
+    for (const Row& row : t.rows()) {
+      cols[c].kind = MergeKind(cols[c].kind, KindOfValue(row[c]));
+    }
+  }
+  return cols;
+}
+
+std::vector<SqlColumn> ColumnsOf(const CTable& t) {
+  std::vector<SqlColumn> cols(t.schema().size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    cols[c].name = t.schema().name(c);
+    for (const CTableRow& row : t.rows()) {
+      cols[c].kind = MergeKind(cols[c].kind,
+                               row.cells[c]->IsConstant()
+                                   ? KindOfValue(row.cells[c]->value())
+                                   : ColumnKind::kSymbolic);
+    }
+  }
+  return cols;
+}
+
 struct Target {
   AggKind agg = AggKind::kNone;
   ColExprPtr expr;  // Null for expected_count(*) / conf().
@@ -69,7 +122,7 @@ class Parser {
       : tokens_(std::move(tokens)), db_(db), options_(options) {}
 
   StatusOr<SqlResult> ParseStatement() {
-    if (Peek().Is("CREATE")) return ParseCreateTable();
+    if (Peek().Is("CREATE")) return ParseCreate();
     if (Peek().Is("INSERT")) return ParseInsert();
     if (Peek().Is("SELECT")) return ParseSelect();
     if (Peek().Is("SET")) return ParseSet();
@@ -87,9 +140,16 @@ class Parser {
   const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
 
   Status Error(const std::string& message) const {
-    return Status::InvalidArgument("SQL parse error at position " +
-                                   std::to_string(Peek().position) + ": " +
-                                   message);
+    return Status::ParseError("SQL parse error at position " +
+                              std::to_string(Peek().position) + ": " +
+                              message);
+  }
+
+  /// Recognized-but-unsupported SQL constructs get the CAPABILITY wire
+  /// code (distinct from PARSE: the statement is legal SQL the engine
+  /// declines, so clients can branch on it).
+  Status Capability(const std::string& feature) const {
+    return Status::Unimplemented(feature + " is not supported");
   }
 
   Status ExpectKeyword(const std::string& upper) {
@@ -172,16 +232,18 @@ class Parser {
         PIP_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
         return CE::Column(name + "." + col);
       }
+      // Named variables (CREATE VARIABLE) resolve before columns.
+      if (db_->HasNamedVariable(name)) {
+        PIP_ASSIGN_OR_RETURN(VarRef var, db_->GetNamedVariable(name));
+        return CE::Embed(Expr::Var(var));
+      }
       return CE::Column(name);
     }
     return Error("expected expression");
   }
 
-  /// A call in expression position: a scalar function or a distribution
-  /// constructor. Distribution constructors require constant arguments and
-  /// allocate one fresh random variable per syntactic occurrence — the
-  /// paper's CREATE_VARIABLE inlined into values/targets.
-  StatusOr<ColExprPtr> ParseCall(const std::string& name) {
+  /// Parses "(expr, ...)" — the argument list of any call.
+  StatusOr<std::vector<ColExprPtr>> ParseArgList() {
     PIP_RETURN_IF_ERROR(ExpectSymbol("("));
     std::vector<ColExprPtr> args;
     if (!Peek().IsSymbol(")")) {
@@ -193,21 +255,13 @@ class Parser {
       }
     }
     PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return args;
+  }
 
-    std::string upper = ToUpper(name);
-    if (auto func = ScalarFunc(upper)) {
-      size_t expected = (upper == "MIN" || upper == "MAX" || upper == "POW")
-                            ? 2
-                            : 1;
-      if (args.size() != expected) {
-        return Error(name + " expects " + std::to_string(expected) +
-                     " argument(s)");
-      }
-      return expected == 1 ? CE::Func(*func, args[0])
-                           : CE::Func(*func, args[0], args[1]);
-    }
-
-    // Distribution constructor.
+  /// Evaluates distribution-constructor arguments to numeric constants,
+  /// validating the class name against the registry first.
+  StatusOr<std::vector<double>> ConstParams(
+      const std::string& name, const std::vector<ColExprPtr>& args) {
     auto dist = DistributionRegistry::Global().Lookup(name);
     if (!dist.ok()) {
       return Error("unknown function or distribution '" + name + "'");
@@ -222,6 +276,28 @@ class Parser {
       PIP_ASSIGN_OR_RETURN(double v, bound->value().AsDouble());
       params.push_back(v);
     }
+    return params;
+  }
+
+  /// A call in expression position: a scalar function or a distribution
+  /// constructor. Distribution constructors require constant arguments and
+  /// allocate one fresh random variable per syntactic occurrence — the
+  /// paper's CREATE_VARIABLE inlined into values/targets.
+  StatusOr<ColExprPtr> ParseCall(const std::string& name) {
+    PIP_ASSIGN_OR_RETURN(std::vector<ColExprPtr> args, ParseArgList());
+    std::string upper = ToUpper(name);
+    if (auto func = ScalarFunc(upper)) {
+      size_t expected = (upper == "MIN" || upper == "MAX" || upper == "POW")
+                            ? 2
+                            : 1;
+      if (args.size() != expected) {
+        return Error(name + " expects " + std::to_string(expected) +
+                     " argument(s)");
+      }
+      return expected == 1 ? CE::Func(*func, args[0])
+                           : CE::Func(*func, args[0], args[1]);
+    }
+    PIP_ASSIGN_OR_RETURN(std::vector<double> params, ConstParams(name, args));
     PIP_ASSIGN_OR_RETURN(VarRef var,
                          db_->CreateVariable(name, std::move(params)));
     return CE::Embed(Expr::Var(var));
@@ -271,72 +347,79 @@ class Parser {
 
   // -- Statements ---------------------------------------------------------
 
-  /// SET knob = value: tunes the session's sampling options (the paper's
-  /// engine knobs surfaced at the SQL layer, PostgreSQL-GUC style).
+  /// SET knob = value: tunes the session's sampling options through the
+  /// declarative knob registry (the paper's engine knobs surfaced at the
+  /// SQL layer, PostgreSQL-GUC style).
   StatusOr<SqlResult> ParseSet() {
     PIP_RETURN_IF_ERROR(ExpectKeyword("SET"));
     PIP_ASSIGN_OR_RETURN(std::string knob, ExpectIdent());
     PIP_RETURN_IF_ERROR(ExpectSymbol("="));
+    bool negative = false;
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      negative = true;
+    }
     if (Peek().kind != TokenKind::kNumber) return Error("expected a number");
     double value = Advance().number;
+    if (negative) value = -value;
     PIP_RETURN_IF_ERROR(ExpectStatementEnd());
-
-    std::string upper = ToUpper(knob);
-    auto as_count = [&]() -> StatusOr<size_t> {
-      if (value < 0 || value != std::floor(value)) {
-        return Status::InvalidArgument(
-            "SET " + upper + " expects a non-negative integer");
-      }
-      return static_cast<size_t>(value);
-    };
-    if (upper == "NUM_THREADS") {
-      PIP_ASSIGN_OR_RETURN(options_->num_threads, as_count());
-    } else if (upper == "FIXED_SAMPLES") {
-      PIP_ASSIGN_OR_RETURN(options_->fixed_samples, as_count());
-    } else if (upper == "MIN_SAMPLES") {
-      PIP_ASSIGN_OR_RETURN(options_->min_samples, as_count());
-    } else if (upper == "MAX_SAMPLES") {
-      PIP_ASSIGN_OR_RETURN(options_->max_samples, as_count());
-    } else if (upper == "SAMPLE_OFFSET") {
-      PIP_ASSIGN_OR_RETURN(size_t offset, as_count());
-      options_->sample_offset = offset;
-    } else if (upper == "EPSILON") {
-      // (1 - epsilon) feeds ErfInv; outside (0, 1) the stopping rule
-      // degenerates (negative or NaN z).
-      if (!(value > 0.0 && value < 1.0)) {
-        return Status::InvalidArgument("SET EPSILON expects a value in (0, 1)");
-      }
-      options_->epsilon = value;
-    } else if (upper == "DELTA") {
-      if (!(value > 0.0)) {
-        return Status::InvalidArgument("SET DELTA expects a positive value");
-      }
-      options_->delta = value;
-    } else {
-      return Error("unknown SET knob '" + knob + "'");
-    }
-    SqlResult result;
-    result.message = "SET " + upper;
-    return result;
+    PIP_RETURN_IF_ERROR(SetKnob(options_, knob, value));
+    return SqlResult::Ack("SET " + ToUpper(knob));
   }
 
-  /// SHOW DISTRIBUTIONS: the registered distribution classes (usable as
-  /// constructors in INSERT/SELECT), one per row, sorted by name.
+  /// SHOW <topic>: introspection listings, one deterministic table each.
   StatusOr<SqlResult> ParseShow() {
     PIP_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
-    PIP_RETURN_IF_ERROR(ExpectKeyword("DISTRIBUTIONS"));
-    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
-    SqlResult result;
-    result.kind = SqlResult::Kind::kTable;
-    result.table = Table(Schema({"distribution"}));
-    for (const std::string& name : DistributionRegistry::Global().Names()) {
-      PIP_RETURN_IF_ERROR(result.table.Append({Value(name)}));
+    if (Peek().Is("DISTRIBUTIONS")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      Table table(Schema({"distribution"}));
+      for (const std::string& name : DistributionRegistry::Global().Names()) {
+        PIP_RETURN_IF_ERROR(table.Append({Value(name)}));
+      }
+      return SqlResult::FromTable(std::move(table));
     }
-    return result;
+    if (Peek().Is("KNOBS")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      Table table(Schema({"knob", "value", "description"}));
+      for (const KnobDef& knob : KnobRegistry()) {
+        PIP_RETURN_IF_ERROR(table.Append(
+            {Value(knob.name), Value(knob.get(*options_)), Value(knob.help)}));
+      }
+      return SqlResult::FromTable(std::move(table));
+    }
+    if (Peek().Is("TABLES")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      Table table(Schema({"table"}));
+      for (const std::string& name : db_->TableNames()) {
+        PIP_RETURN_IF_ERROR(table.Append({Value(name)}));
+      }
+      return SqlResult::FromTable(std::move(table));
+    }
+    if (Peek().Is("VARIABLES")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      Table table(Schema({"variable", "distribution"}));
+      for (const auto& [name, ref] : db_->NamedVariables()) {
+        auto info = db_->pool()->Info(ref.var_id);
+        PIP_RETURN_IF_ERROR(table.Append(
+            {Value(name),
+             Value(info.ok() ? info.value()->class_name : std::string("?"))}));
+      }
+      return SqlResult::FromTable(std::move(table));
+    }
+    return Error("expected DISTRIBUTIONS, KNOBS, TABLES or VARIABLES");
+  }
+
+  StatusOr<SqlResult> ParseCreate() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (Peek().Is("VARIABLE")) return ParseCreateVariable();
+    return ParseCreateTable();
   }
 
   StatusOr<SqlResult> ParseCreateTable() {
-    PIP_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
     PIP_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     PIP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
     PIP_RETURN_IF_ERROR(ExpectSymbol("("));
@@ -351,9 +434,30 @@ class Parser {
     PIP_RETURN_IF_ERROR(ExpectStatementEnd());
     PIP_RETURN_IF_ERROR(
         db_->RegisterCTable(name, CTable(Schema(std::move(columns)))));
-    SqlResult result;
-    result.message = "CREATE TABLE " + name;
-    return result;
+    return SqlResult::Ack("CREATE TABLE " + name);
+  }
+
+  /// CREATE VARIABLE name AS Dist(params): the paper's named
+  /// CREATE_VARIABLE (§V-A). The variable lives in the Database and is
+  /// usable by name in any later INSERT/SELECT expression of any
+  /// session.
+  StatusOr<SqlResult> ParseCreateVariable() {
+    PIP_RETURN_IF_ERROR(ExpectKeyword("VARIABLE"));
+    PIP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    PIP_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    PIP_ASSIGN_OR_RETURN(std::string class_name, ExpectIdent());
+    if (!Peek().IsSymbol("(")) return Error("expected '('");
+    if (ScalarFunc(ToUpper(class_name))) {
+      return Error("'" + class_name + "' is not a distribution");
+    }
+    PIP_ASSIGN_OR_RETURN(std::vector<ColExprPtr> args, ParseArgList());
+    PIP_ASSIGN_OR_RETURN(std::vector<double> params,
+                         ConstParams(class_name, args));
+    PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+    PIP_RETURN_IF_ERROR(
+        db_->CreateNamedVariable(name, class_name, std::move(params))
+            .status());
+    return SqlResult::Ack("CREATE VARIABLE " + name);
   }
 
   StatusOr<SqlResult> ParseInsert() {
@@ -361,33 +465,33 @@ class Parser {
     PIP_RETURN_IF_ERROR(ExpectKeyword("INTO"));
     PIP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
     PIP_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    if (!db_->HasTable(name)) {
+      return Status::NotFound("no table named '" + name + "'");
+    }
 
-    PIP_ASSIGN_OR_RETURN(const CTable* existing, db_->GetTable(name));
-    CTable updated = *existing;
-
-    size_t inserted = 0;
+    std::vector<CTableRow> rows;
     while (true) {
       PIP_RETURN_IF_ERROR(ExpectSymbol("("));
-      std::vector<ExprPtr> cells;
+      CTableRow row;
       while (true) {
         PIP_ASSIGN_OR_RETURN(ColExprPtr expr, ParseExpr());
         // INSERT expressions cannot reference columns.
         PIP_ASSIGN_OR_RETURN(ExprPtr bound, expr->Bind(Schema(), {}));
-        cells.push_back(std::move(bound));
+        row.cells.push_back(std::move(bound));
         if (!Peek().IsSymbol(",")) break;
         Advance();
       }
       PIP_RETURN_IF_ERROR(ExpectSymbol(")"));
-      PIP_RETURN_IF_ERROR(updated.Append(std::move(cells)));
-      ++inserted;
+      rows.push_back(std::move(row));
       if (!Peek().IsSymbol(",")) break;
       Advance();
     }
     PIP_RETURN_IF_ERROR(ExpectStatementEnd());
-    db_->MaterializeView(name, std::move(updated));
-    SqlResult result;
-    result.message = "INSERT " + std::to_string(inserted);
-    return result;
+    size_t inserted = rows.size();
+    // Atomic under the catalogue lock: concurrent INSERTs into one table
+    // serialize instead of losing rows to a read-copy-update race.
+    PIP_RETURN_IF_ERROR(db_->AppendRows(name, std::move(rows)));
+    return SqlResult::Ack("INSERT " + std::to_string(inserted));
   }
 
   StatusOr<Target> ParseTarget() {
@@ -430,6 +534,7 @@ class Parser {
 
   StatusOr<SqlResult> ParseSelect() {
     PIP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Peek().Is("DISTINCT")) return Capability("SELECT DISTINCT");
     std::vector<Target> targets;
     bool select_star = false;
     if (Peek().IsSymbol("*")) {
@@ -458,6 +563,12 @@ class Parser {
       Advance();
       PIP_ASSIGN_OR_RETURN(predicate, ParseWhere());
     }
+    // Recognized SQL clauses beyond the supported subset get the
+    // CAPABILITY category rather than a generic parse error.
+    for (const char* clause :
+         {"GROUP", "ORDER", "HAVING", "LIMIT", "UNION", "JOIN"}) {
+      if (Peek().Is(clause)) return Capability(std::string(clause));
+    }
     PIP_RETURN_IF_ERROR(ExpectStatementEnd());
 
     // Build the plan: FROM list as cross products, then WHERE.
@@ -484,21 +595,17 @@ class Parser {
           "cannot mix table-wide aggregates with per-row targets");
     }
 
-    SqlResult result;
     SamplingEngine engine = db_->MakeEngine(*options_);
 
     if (select_star || (!any_table_wide && !any_per_row)) {
       // Plain symbolic SELECT.
       if (select_star) {
-        result.kind = SqlResult::Kind::kCTable;
-        result.ctable = std::move(base);
-        return result;
+        return SqlResult::FromCTable(std::move(base));
       }
       std::vector<NamedColExpr> cols;
       for (const auto& t : targets) cols.push_back({t.alias, t.expr});
-      PIP_ASSIGN_OR_RETURN(result.ctable, Project(base, cols));
-      result.kind = SqlResult::Kind::kCTable;
-      return result;
+      PIP_ASSIGN_OR_RETURN(CTable projected, Project(base, cols));
+      return SqlResult::FromCTable(std::move(projected));
     }
 
     if (any_table_wide) {
@@ -545,10 +652,9 @@ class Parser {
         }
         row.push_back(Value(value));
       }
-      result.kind = SqlResult::Kind::kTable;
-      result.table = Table(Schema(std::move(names)));
-      PIP_RETURN_IF_ERROR(result.table.Append(std::move(row)));
-      return result;
+      Table out(Schema(std::move(names)));
+      PIP_RETURN_IF_ERROR(out.Append(std::move(row)));
+      return SqlResult::FromTable(std::move(out));
     }
 
     // Per-row mode: expectation(expr) / conf() mixed with deterministic
@@ -575,9 +681,8 @@ class Parser {
     if (!cols.empty()) {
       PIP_ASSIGN_OR_RETURN(projected, Project(base, cols));
     }
-    PIP_ASSIGN_OR_RETURN(result.table, Analyze(projected, engine, spec));
-    result.kind = SqlResult::Kind::kTable;
-    return result;
+    PIP_ASSIGN_OR_RETURN(Table out, Analyze(projected, engine, spec));
+    return SqlResult::FromTable(std::move(out));
   }
 
   std::vector<Token> tokens_;
@@ -589,22 +694,147 @@ class Parser {
 
 }  // namespace
 
+const char* WireErrorCodeName(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kNone:
+      return "NONE";
+    case WireErrorCode::kParse:
+      return "PARSE";
+    case WireErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case WireErrorCode::kInvalidArg:
+      return "INVALID_ARG";
+    case WireErrorCode::kCapability:
+      return "CAPABILITY";
+    case WireErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+StatusOr<WireErrorCode> WireErrorCodeFromName(const std::string& name) {
+  for (WireErrorCode code :
+       {WireErrorCode::kNone, WireErrorCode::kParse, WireErrorCode::kNotFound,
+        WireErrorCode::kInvalidArg, WireErrorCode::kCapability,
+        WireErrorCode::kInternal}) {
+    if (name == WireErrorCodeName(code)) return code;
+  }
+  return Status::NotFound("unknown wire error code '" + name + "'");
+}
+
+WireErrorCode WireErrorCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireErrorCode::kNone;
+    case StatusCode::kParseError:
+      return WireErrorCode::kParse;
+    case StatusCode::kNotFound:
+      return WireErrorCode::kNotFound;
+    case StatusCode::kUnimplemented:
+      return WireErrorCode::kCapability;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kTypeMismatch:
+    case StatusCode::kInconsistent:
+      return WireErrorCode::kInvalidArg;
+    case StatusCode::kInternal:
+      return WireErrorCode::kInternal;
+  }
+  return WireErrorCode::kInternal;
+}
+
+const char* ColumnKindName(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kNull:
+      return "null";
+    case ColumnKind::kNumeric:
+      return "num";
+    case ColumnKind::kText:
+      return "text";
+    case ColumnKind::kBool:
+      return "bool";
+    case ColumnKind::kMixed:
+      return "mixed";
+    case ColumnKind::kSymbolic:
+      return "sym";
+  }
+  return "mixed";
+}
+
+SqlResult SqlResult::Ack(std::string message) {
+  SqlResult result;
+  result.kind = Kind::kAck;
+  result.message = std::move(message);
+  return result;
+}
+
+SqlResult SqlResult::FromTable(Table t) {
+  SqlResult result;
+  result.kind = Kind::kTable;
+  result.columns = ColumnsOf(t);
+  result.table = std::move(t);
+  return result;
+}
+
+SqlResult SqlResult::FromCTable(CTable t) {
+  SqlResult result;
+  result.kind = Kind::kCTable;
+  result.columns = ColumnsOf(t);
+  result.ctable = std::move(t);
+  return result;
+}
+
+SqlResult SqlResult::FromStatus(const Status& status) {
+  PIP_CHECK_MSG(!status.ok(), "error result from OK status");
+  SqlResult result;
+  result.kind = Kind::kError;
+  result.error.code = WireErrorCodeFor(status);
+  result.error.message = status.message();
+  return result;
+}
+
 std::string SqlResult::ToString() const {
   switch (kind) {
-    case Kind::kNone:
+    case Kind::kAck:
       return message;
     case Kind::kCTable:
       return ctable.ToString();
     case Kind::kTable:
       return table.ToString();
+    case Kind::kError:
+      return std::string("ERROR ") + WireErrorCodeName(error.code) + ": " +
+             error.message;
   }
   return "";
 }
 
-StatusOr<SqlResult> Session::Execute(const std::string& statement) {
-  PIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
-  Parser parser(std::move(tokens), db_, &options_);
-  return parser.ParseStatement();
+bool StatementMaySample(const std::string& statement) {
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok()) return false;
+  const std::vector<Token>& ts = tokens.value();
+  for (size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != TokenKind::kIdent || !ts[i + 1].IsSymbol("(")) continue;
+    std::string upper = ToUpper(ts[i].text);
+    if (AggKindFromName(upper) != AggKind::kNone || upper == "ACONF") {
+      return true;
+    }
+  }
+  return false;
+}
+
+SqlResult Session::Execute(const std::string& statement) {
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok()) {
+    // Lexer failures are parse errors on the wire, whatever internal
+    // category the tokenizer reported.
+    return SqlResult::FromStatus(
+        Status::ParseError(tokens.status().message()));
+  }
+  Parser parser(std::move(tokens).value(), db_, &options_);
+  auto result = parser.ParseStatement();
+  if (!result.ok()) return SqlResult::FromStatus(result.status());
+  return std::move(result).value();
 }
 
 }  // namespace sql

@@ -15,27 +15,28 @@
 ///
 /// Distribution constructors (any registered class name used as a function
 /// in an INSERT or SELECT target) allocate a fresh variable per evaluated
-/// row — the paper's CREATE_VARIABLE. Supported statements:
+/// row — the paper's CREATE_VARIABLE inlined into expressions. The
+/// explicit named form is also supported:
+///
+///   CREATE VARIABLE demand AS Poisson(140);
+///   INSERT INTO products VALUES ('widget', 19.99, demand * 2);
+///
+/// Named variables are session-independent (they live in the Database)
+/// and resolve before column names in expressions. Supported statements:
 ///
 ///   CREATE TABLE name (col [, col]*)
+///   CREATE VARIABLE name AS Dist(params)
 ///   INSERT INTO name VALUES (expr, ...) [, (expr, ...)]*
 ///   SELECT targets FROM name [, name]* [WHERE conjunction]
-///   SET knob = value        -- session sampling knobs, see below
-///   SHOW DISTRIBUTIONS      -- registered distribution classes
+///   SET knob = value        -- session sampling knobs (see knobs.h)
+///   SHOW DISTRIBUTIONS | KNOBS | TABLES | VARIABLES
 ///
-/// SET tunes the session's SamplingOptions; supported knobs are
-/// NUM_THREADS (0 = hardware concurrency), FIXED_SAMPLES, MIN_SAMPLES,
-/// MAX_SAMPLES, EPSILON, DELTA and SAMPLE_OFFSET. New sessions inherit
-/// the database's default_options(), so deployments can pin e.g. a
-/// thread budget once at the Database level. NUM_THREADS caps both
-/// parallel axes at once: batch operators (Analyze, aconf(), the
-/// expected_* aggregates) fan their row loops across the pool and each
-/// row's sample sharding then runs inline; single-row calls fan the
-/// sample axis instead (see README "Threading model").
-///
-/// SHOW DISTRIBUTIONS returns a one-column deterministic table listing
-/// DistributionRegistry::Global().Names() — every class name usable as a
-/// constructor in INSERT/SELECT targets.
+/// SET tunes the session's SamplingOptions through the declarative knob
+/// registry (src/sql/knobs.h) — the same registry behind `SHOW KNOBS`
+/// and the pip-server `--set NAME=VALUE` startup flags. New sessions
+/// inherit the database's default_options(), so deployments can pin e.g.
+/// a thread budget once at the Database level. NUM_THREADS caps both
+/// parallel axes at once (see README "Threading model").
 ///
 /// Targets: expressions with optional `AS alias`, or the aggregates
 /// expected_sum(expr) / expected_count(*) / expected_avg(expr) /
@@ -43,11 +44,18 @@
 /// aggregate returns a single-row deterministic Table; `expectation` and
 /// `conf` are per-row operators returning one deterministic row per input
 /// row; a plain SELECT returns the symbolic CTable.
+///
+/// Execute() never "fails" at the call level: it always returns a
+/// SqlResult, which is a tagged, wire-ready response — on error the
+/// result carries a machine-readable WireErrorCode plus the message, so
+/// clients (and the server codec in src/server/wire.h) never parse
+/// prose.
 
 #ifndef PIP_SQL_SESSION_H_
 #define PIP_SQL_SESSION_H_
 
 #include <string>
+#include <vector>
 
 #include "src/engine/query.h"
 #include "src/sampling/aggregates.h"
@@ -55,22 +63,98 @@
 namespace pip {
 namespace sql {
 
-/// \brief Result of executing one statement.
+/// \brief Stable machine-readable error categories of the client API.
+///
+/// This is the error surface clients program against; the server wire
+/// codec and SqlResult::ToString() render exactly these names. Status
+/// categories map onto it via WireErrorCodeFor.
+enum class WireErrorCode {
+  kNone = 0,    ///< Not an error.
+  kParse,       ///< Statement text rejected by the parser.
+  kNotFound,    ///< Named entity (table, variable, knob, column) missing.
+  kInvalidArg,  ///< Well-formed statement with invalid content.
+  kCapability,  ///< Recognized construct the engine does not support.
+  kInternal,    ///< Engine-side invariant failure.
+};
+
+/// Wire name, e.g. "PARSE", "NOT_FOUND". Stable across releases.
+const char* WireErrorCodeName(WireErrorCode code);
+
+/// Inverse of WireErrorCodeName; NotFound for unknown names.
+StatusOr<WireErrorCode> WireErrorCodeFromName(const std::string& name);
+
+/// Collapses a Status into the wire error category.
+WireErrorCode WireErrorCodeFor(const Status& status);
+
+/// \brief Column kind tags in result metadata.
+enum class ColumnKind {
+  kNull = 0,  ///< All cells NULL (or no rows).
+  kNumeric,   ///< Int/double cells.
+  kText,      ///< String cells.
+  kBool,      ///< Boolean cells.
+  kMixed,     ///< Heterogeneous deterministic cells.
+  kSymbolic,  ///< At least one probabilistic (equation) cell.
+};
+
+const char* ColumnKindName(ColumnKind kind);
+
+/// \brief One column of a result: name plus kind tag.
+struct SqlColumn {
+  std::string name;
+  ColumnKind kind = ColumnKind::kNull;
+};
+
+/// \brief Machine-readable error payload of a failed statement.
+struct SqlError {
+  WireErrorCode code = WireErrorCode::kNone;
+  std::string message;
+};
+
+/// \brief Wire-ready result of executing one statement.
+///
+/// A tagged union: acknowledgement (DDL/DML), deterministic table,
+/// symbolic c-table, or error. Table-shaped results carry structured
+/// column metadata so clients can consume them without sniffing cells.
 struct SqlResult {
   enum class Kind {
-    kNone,      ///< DDL/DML acknowledgement (see `message`).
-    kCTable,    ///< Symbolic query result.
+    kAck,       ///< DDL/DML acknowledgement (see `message`).
     kTable,     ///< Deterministic (probability-removed) result.
+    kCTable,    ///< Symbolic query result.
+    kError,     ///< Failed statement (see `error`).
   };
-  Kind kind = Kind::kNone;
-  std::string message;
-  CTable ctable;
+  Kind kind = Kind::kAck;
+  std::string message;              ///< Ack text, e.g. "INSERT 3".
+  std::vector<SqlColumn> columns;   ///< Metadata for kTable/kCTable.
   Table table;
+  CTable ctable;
+  SqlError error;
 
+  bool ok() const { return kind != Kind::kError; }
+
+  static SqlResult Ack(std::string message);
+  static SqlResult FromTable(Table t);
+  static SqlResult FromCTable(CTable t);
+  /// Error result from a non-OK status.
+  static SqlResult FromStatus(const Status& status);
+
+  /// Human rendering; errors render "ERROR <CODE>: <message>" using the
+  /// same WireErrorCodeName the server codec emits.
   std::string ToString() const;
 };
 
+/// True when `statement` invokes a probability-removing function
+/// (expected_*, expectation, conf, aconf) and hence runs Monte Carlo
+/// sampling. The server's admission gate uses this to bound concurrent
+/// heavy statements without parsing twice; lexer-accurate (string
+/// literals cannot fake a match). Unparseable statements return false.
+bool StatementMaySample(const std::string& statement);
+
 /// \brief Stateful SQL session against one Database.
+///
+/// Sessions are cheap; the server creates one per connection. Each
+/// session owns a private SamplingOptions (seeded from the database
+/// defaults) so SET is connection-local, while data, named variables,
+/// the thread pool, and the plan cache are shared through the Database.
 class Session {
  public:
   /// Inherits the database's default sampling options.
@@ -78,10 +162,12 @@ class Session {
   Session(Database* db, SamplingOptions options)
       : db_(db), options_(options) {}
 
-  /// Parses and executes one statement (trailing ';' optional).
-  StatusOr<SqlResult> Execute(const std::string& statement);
+  /// Parses and executes one statement (trailing ';' optional). Always
+  /// returns a result; failures are tagged Kind::kError.
+  SqlResult Execute(const std::string& statement);
 
   SamplingOptions* mutable_options() { return &options_; }
+  Database* database() { return db_; }
 
  private:
   Database* db_;

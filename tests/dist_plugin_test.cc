@@ -547,9 +547,9 @@ TEST(PluginEndToEndTest, SqlInsertConstructsUserDistribution) {
   sql::Session session(&db);
   session.mutable_options()->fixed_samples = 20000;
   auto run = [&](const std::string& stmt) {
-    auto r = session.Execute(stmt);
-    PIP_CHECK_MSG(r.ok(), r.status().ToString());
-    return std::move(r).value();
+    sql::SqlResult r = session.Execute(stmt);
+    PIP_CHECK_MSG(r.ok(), r.ToString());
+    return r;
   };
   run("CREATE TABLE m (v)");
   run("INSERT INTO m VALUES (Triangular(0, 1, 4))");
@@ -581,8 +581,8 @@ TEST(PluginEndToEndTest, ReplacedPluginInvalidatesCachedPlansAcrossSqlInsert) {
   Database db(909);
   sql::Session session(&db);
   auto run = [&](const std::string& stmt) {
-    auto r = session.Execute(stmt);
-    PIP_CHECK_MSG(r.ok(), r.status().ToString());
+    sql::SqlResult r = session.Execute(stmt);
+    PIP_CHECK_MSG(r.ok(), r.ToString());
   };
   run("CREATE TABLE m (v)");
 

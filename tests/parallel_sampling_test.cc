@@ -778,7 +778,7 @@ TEST(OptionsPlumbingTest, SqlSetThreadsKeepsQueriesDeterministic) {
     PIP_CHECK(session.Execute("SET fixed_samples = 500").ok());
     auto r = session.Execute("SELECT expected_sum(v) FROM t WHERE v > 12");
     PIP_CHECK(r.ok());
-    return r.value().table.ToString();
+    return r.table.ToString();
   };
   std::string serial = run(1);
   EXPECT_EQ(run(2), serial);

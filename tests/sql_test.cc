@@ -59,9 +59,9 @@ class SqlSessionTest : public ::testing::Test {
   }
 
   SqlResult Run(const std::string& stmt) {
-    auto r = session_.Execute(stmt);
-    PIP_CHECK_MSG(r.ok(), r.status().ToString());
-    return std::move(r).value();
+    SqlResult r = session_.Execute(stmt);
+    PIP_CHECK_MSG(r.ok(), r.ToString());
+    return r;
   }
 
   Database db_;
@@ -180,9 +180,60 @@ TEST_F(SqlSessionTest, ShowDistributionsListsRegistry) {
   EXPECT_GE(expected.size(), 10u);
 }
 
-TEST_F(SqlSessionTest, ShowRequiresDistributions) {
-  EXPECT_FALSE(session_.Execute("SHOW TABLES").ok());
+TEST_F(SqlSessionTest, ShowTopics) {
   EXPECT_FALSE(session_.Execute("SHOW").ok());
+  EXPECT_FALSE(session_.Execute("SHOW NONSENSE").ok());
+
+  Run("CREATE TABLE zeta (a)");
+  Run("CREATE TABLE alpha (a)");
+  SqlResult tables = Run("SHOW TABLES");
+  ASSERT_EQ(tables.table.num_rows(), 2u);
+  // Sorted by name regardless of creation order.
+  EXPECT_EQ(tables.table.row(0)[0], Value("alpha"));
+  EXPECT_EQ(tables.table.row(1)[0], Value("zeta"));
+
+  SqlResult knobs = Run("SHOW KNOBS");
+  EXPECT_EQ(knobs.table.schema().size(), 3u);
+  bool saw_epsilon = false;
+  for (const Row& row : knobs.table.rows()) {
+    if (row[0] == Value("EPSILON")) saw_epsilon = true;
+  }
+  EXPECT_TRUE(saw_epsilon);
+}
+
+TEST_F(SqlSessionTest, ShowKnobsReflectsSet) {
+  Run("SET fixed_samples = 321");
+  SqlResult knobs = Run("SHOW KNOBS");
+  bool found = false;
+  for (const Row& row : knobs.table.rows()) {
+    if (row[0] == Value("FIXED_SAMPLES")) {
+      EXPECT_EQ(row[1], Value("321"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SqlSessionTest, CreateVariableNamedReuse) {
+  Run("CREATE VARIABLE demand AS Poisson(140)");
+  EXPECT_EQ(db_.pool()->num_variables(), 1u);
+
+  // Reusing the name in two statements references the SAME variable (no
+  // fresh allocation), unlike inline constructors.
+  Run("CREATE TABLE p (label, units)");
+  Run("INSERT INTO p VALUES ('a', demand), ('b', demand * 2)");
+  EXPECT_EQ(db_.pool()->num_variables(), 1u);
+
+  SqlResult vars = Run("SHOW VARIABLES");
+  ASSERT_EQ(vars.table.num_rows(), 1u);
+  EXPECT_EQ(vars.table.row(0)[0], Value("demand"));
+  EXPECT_EQ(vars.table.row(0)[1], Value("Poisson"));
+
+  // Duplicate names and bad constructors are rejected.
+  EXPECT_FALSE(session_.Execute("CREATE VARIABLE demand AS Normal(0, 1)").ok());
+  EXPECT_FALSE(session_.Execute("CREATE VARIABLE v2 AS NoSuchDist(1)").ok());
+  // The failed CREATE VARIABLE must not leak a reserved name.
+  Run("CREATE VARIABLE v2 AS Normal(0, 1)");
 }
 
 TEST_F(SqlSessionTest, ExpectedCountStar) {
@@ -232,13 +283,63 @@ TEST_F(SqlSessionTest, MixingTableWideAndPerRowRejected) {
   EXPECT_FALSE(session_.Execute("SELECT expected_sum(v), v FROM m").ok());
 }
 
-TEST_F(SqlSessionTest, ParseErrorsAreInvalidArgument) {
+TEST_F(SqlSessionTest, ParseErrorsCarryParseCode) {
   for (const char* bad :
        {"SELECT", "SELECT FROM t", "CREATE TABLE", "INSERT INTO",
         "SELECT a FROM t WHERE", "DELETE FROM t", "SELECT a FROM t extra"}) {
     auto r = session_.Execute(bad);
     EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.error.code, WireErrorCode::kParse) << bad;
   }
+}
+
+TEST_F(SqlSessionTest, ErrorCodesByCategory) {
+  Run("CREATE TABLE t (a)");
+  // NOT_FOUND: missing table.
+  EXPECT_EQ(session_.Execute("INSERT INTO nope VALUES (1)").error.code,
+            WireErrorCode::kNotFound);
+  // INVALID_ARG: well-formed statement with invalid content.
+  EXPECT_EQ(session_.Execute("SET epsilon = 7").error.code,
+            WireErrorCode::kInvalidArg);
+  EXPECT_EQ(session_.Execute("CREATE TABLE t (a)").error.code,
+            WireErrorCode::kInvalidArg);  // AlreadyExists maps here.
+  // CAPABILITY: recognized SQL the engine declines.
+  EXPECT_EQ(session_.Execute("SELECT DISTINCT a FROM t").error.code,
+            WireErrorCode::kCapability);
+  EXPECT_EQ(session_.Execute("SELECT a FROM t GROUP BY a").error.code,
+            WireErrorCode::kCapability);
+  EXPECT_EQ(session_.Execute("SELECT a FROM t ORDER BY a").error.code,
+            WireErrorCode::kCapability);
+  // Messages render with the same code names the wire uses.
+  SqlResult err = session_.Execute("SELECT a FROM t LIMIT 5");
+  EXPECT_NE(err.ToString().find("ERROR CAPABILITY:"), std::string::npos);
+}
+
+TEST_F(SqlSessionTest, ResultColumnMetadata) {
+  Run("CREATE TABLE m (label, v)");
+  Run("INSERT INTO m VALUES ('a', Uniform(0, 1)), ('b', 2)");
+  SqlResult sym = Run("SELECT * FROM m");
+  ASSERT_EQ(sym.columns.size(), 2u);
+  EXPECT_EQ(sym.columns[0].name, "label");
+  EXPECT_EQ(sym.columns[0].kind, ColumnKind::kText);
+  EXPECT_EQ(sym.columns[1].kind, ColumnKind::kSymbolic);
+
+  SqlResult det = Run("SELECT expected_sum(v) AS s FROM m");
+  ASSERT_EQ(det.columns.size(), 1u);
+  EXPECT_EQ(det.columns[0].name, "s");
+  EXPECT_EQ(det.columns[0].kind, ColumnKind::kNumeric);
+}
+
+TEST_F(SqlSessionTest, StatementMaySampleClassification) {
+  EXPECT_TRUE(StatementMaySample("SELECT expected_sum(v) FROM t"));
+  EXPECT_TRUE(StatementMaySample("SELECT expectation(v), conf() FROM t"));
+  EXPECT_TRUE(StatementMaySample("select EXPECTED_MAX(v) from t"));
+  EXPECT_FALSE(StatementMaySample("SELECT v FROM t"));
+  EXPECT_FALSE(StatementMaySample("INSERT INTO t VALUES (Normal(0, 1))"));
+  // String literals cannot fake a match (lexer-accurate scan).
+  EXPECT_FALSE(StatementMaySample("INSERT INTO t VALUES ('conf()')"));
+  // Unparseable text classifies as non-sampling.
+  EXPECT_FALSE(StatementMaySample("'unterminated"));
 }
 
 TEST_F(SqlSessionTest, TrailingSemicolonAccepted) {
