@@ -56,6 +56,9 @@ class RunningStats {
 
   int64_t count() const { return n_; }
   double mean() const { return mean_; }
+  /// Raw sum of squared deviations (the Welford M2 state) — the
+  /// mergeable representation materialized summaries persist.
+  double m2() const { return m2_; }
   /// Population variance (n in the denominator); 0 for n < 2.
   double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;

@@ -27,6 +27,11 @@ bool CellsEqual(const std::vector<ExprPtr>& a, const std::vector<ExprPtr>& b) {
 
 StatusOr<CTable> Select(const CTable& in, const ColPredicate& pred) {
   CTable out(in.schema());
+  // Selection preserves row identity (rows are only filtered or get a
+  // tighter condition), so index provenance carries through; the changed
+  // condition is part of the index's exact result key, never of the row
+  // identity.
+  out.SetProvenance(in.table_id(), in.generation());
   for (const auto& row : in.rows()) {
     Condition cond = row.condition;
     bool dropped = false;
@@ -53,9 +58,13 @@ StatusOr<CTable> Project(const CTable& in,
   names.reserve(targets.size());
   for (const auto& t : targets) names.push_back(t.name);
   CTable out((Schema(std::move(names))));
+  // Projection is row-preserving: provenance carries through so the
+  // index can serve the projected cells' expectations.
+  out.SetProvenance(in.table_id(), in.generation());
   for (const auto& row : in.rows()) {
     CTableRow projected;
     projected.condition = row.condition;
+    projected.row_id = row.row_id;
     projected.cells.reserve(targets.size());
     for (const auto& t : targets) {
       PIP_ASSIGN_OR_RETURN(ExprPtr cell, t.expr->Bind(in.schema(), row.cells));
@@ -222,7 +231,11 @@ StatusOr<std::vector<CTableGroup>> GroupBy(
     }
     if (group == nullptr) {
       candidates.push_back(groups.size());
-      groups.push_back(CTableGroup{std::move(key), CTable(in.schema())});
+      CTable members(in.schema());
+      // Groups partition the input's rows, so each group keeps the
+      // source provenance (rows carry their original ids).
+      members.SetProvenance(in.table_id(), in.generation());
+      groups.push_back(CTableGroup{std::move(key), std::move(members)});
       group = &groups.back();
     }
     PIP_RETURN_IF_ERROR(group->rows.Append(row));

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "src/sampling/index_ops.h"
+
 namespace pip {
+
+void Database::StampForPublishLocked(CTable* table, uint64_t table_id,
+                                     uint64_t generation) {
+  table->SetProvenance(table_id, generation);
+  table->StampRowIds();
+  // Advancing the generation purges exactly this table's stale index
+  // entries and makes racing backfills against older snapshots
+  // rejectable. Done before publication so no reader can hit a stale
+  // entry through the new snapshot.
+  result_index_->BeginGeneration(table_id, generation);
+}
 
 Status Database::RegisterTable(const std::string& name, Table table) {
   return RegisterCTable(name, CTable::FromTable(table));
@@ -13,29 +26,62 @@ Status Database::RegisterCTable(const std::string& name, CTable table) {
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
+  StampForPublishLocked(&table, next_table_id_++, 1);
   tables_.emplace(name, std::make_shared<const CTable>(std::move(table)));
   return Status::OK();
 }
 
 void Database::MaterializeView(const std::string& name, CTable table) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  tables_.insert_or_assign(name,
-                           std::make_shared<const CTable>(std::move(table)));
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    // Replacement keeps the table id (readers of old snapshots see the
+    // generation gap) and retires the previous generation's entries.
+    StampForPublishLocked(&table, it->second->table_id(),
+                          it->second->generation() + 1);
+    it->second = std::make_shared<const CTable>(std::move(table));
+    return;
+  }
+  StampForPublishLocked(&table, next_table_id_++, 1);
+  tables_.emplace(name, std::make_shared<const CTable>(std::move(table)));
 }
 
 Status Database::AppendRows(const std::string& name,
                             std::vector<CTableRow> rows) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table named '" + name + "'");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("no table named '" + name + "'");
+    }
+    CTable updated = *it->second;
+    for (CTableRow& row : rows) {
+      PIP_RETURN_IF_ERROR(updated.Append(std::move(row)));
+    }
+    StampForPublishLocked(&updated, it->second->table_id(),
+                          it->second->generation() + 1);
+    it->second = std::make_shared<const CTable>(std::move(updated));
   }
-  CTable updated = *it->second;
-  for (CTableRow& row : rows) {
-    PIP_RETURN_IF_ERROR(updated.Append(std::move(row)));
+  // Knob-gated eager materialization under the database defaults,
+  // outside the catalogue lock (it samples). Sessions with their own
+  // options call BuildIndex separately; build failures must not undo a
+  // committed insert, so they only leave the index cold.
+  if (default_options_.index_eager_build) {
+    Status build_status = BuildIndex(name, default_options_);
+    (void)build_status;
   }
-  it->second = std::make_shared<const CTable>(std::move(updated));
   return Status::OK();
+}
+
+Status Database::BuildIndex(const std::string& name,
+                            const SamplingOptions& options) {
+  if (!options.index_enabled) return Status::OK();
+  PIP_ASSIGN_OR_RETURN(std::shared_ptr<const CTable> snapshot,
+                       GetTable(name));
+  // Sampling runs outside the catalogue lock on the immutable snapshot;
+  // if a writer advances the table meanwhile, the index rejects the
+  // stale backfills by generation.
+  return EagerBuildIndex(*snapshot, MakeEngine(options));
 }
 
 StatusOr<std::shared_ptr<const CTable>> Database::GetTable(

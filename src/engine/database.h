@@ -26,6 +26,7 @@
 
 #include "src/ctable/ctable.h"
 #include "src/dist/variable_pool.h"
+#include "src/index/expectation_index.h"
 #include "src/sampling/expectation.h"
 
 namespace pip {
@@ -34,7 +35,9 @@ namespace pip {
 class Database {
  public:
   explicit Database(uint64_t seed = VariablePool::kDefaultSeed)
-      : pool_(seed), plan_cache_(std::make_shared<PlanCache>()) {}
+      : pool_(seed),
+        plan_cache_(std::make_shared<PlanCache>()),
+        result_index_(std::make_shared<ExpectationIndex>()) {}
 
   VariablePool* pool() { return &pool_; }
   const VariablePool& pool() const { return pool_; }
@@ -97,26 +100,50 @@ class Database {
 
   /// A sampling engine bound to this database's pool, using the
   /// database-wide default options.
-  SamplingEngine MakeEngine() const {
-    return SamplingEngine(&pool_, default_options_, plan_cache_);
-  }
+  SamplingEngine MakeEngine() const { return MakeEngine(default_options_); }
   /// A sampling engine with explicit options (callers typically copy
   /// default_options() and tweak). All engines share the database's
-  /// plan cache.
+  /// plan cache and result index; the options' index_memory_budget is
+  /// applied to the shared index (last engine created wins).
   SamplingEngine MakeEngine(SamplingOptions options) const {
-    return SamplingEngine(&pool_, options, plan_cache_);
+    result_index_->SetMemoryBudget(options.index_memory_budget);
+    SamplingEngine engine(&pool_, options, plan_cache_);
+    engine.set_result_index(result_index_);
+    return engine;
   }
+
+  /// Eagerly materializes expectation-index entries for every row of
+  /// `name` under `options` (the INSERT path's INDEX_EAGER_BUILD hook;
+  /// also callable directly to pre-warm a table). Runs on the caller's
+  /// thread against the current snapshot, outside the catalogue lock.
+  Status BuildIndex(const std::string& name, const SamplingOptions& options);
 
   /// Hit/miss counters of the database-wide plan cache.
   PlanCache::Stats plan_cache_stats() const { return plan_cache_->stats(); }
 
+  /// The shared materialized-result index and its counters (the SHOW
+  /// INDEX surface).
+  ExpectationIndex* result_index() const { return result_index_.get(); }
+  ExpectationIndex::Stats result_index_stats() const {
+    return result_index_->stats();
+  }
+
  private:
+  /// Stamps catalogue provenance onto a table about to be published:
+  /// assigns/keeps its table id, sets the new generation, re-stamps row
+  /// ids, and purges the index's now-stale entries for that table. Must
+  /// run under the exclusive catalogue lock.
+  void StampForPublishLocked(CTable* table, uint64_t table_id,
+                             uint64_t generation);
+
   VariablePool pool_;
   SamplingOptions default_options_;
   std::shared_ptr<PlanCache> plan_cache_;
+  std::shared_ptr<ExpectationIndex> result_index_;
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const CTable>> tables_;
   std::unordered_map<std::string, VarRef> named_vars_;
+  uint64_t next_table_id_ = 1;
 };
 
 }  // namespace pip

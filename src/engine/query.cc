@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/common/row_parallel.h"
+#include "src/sampling/index_ops.h"
 
 namespace pip {
 
@@ -258,6 +259,11 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
       rows.size(), engine.options().num_threads, [&](size_t r) -> Status {
         const auto& row = rows[r];
         RowSlot& slot = slots[r];
+        // Catalogue provenance routes the engine calls through the
+        // materialized expectation index: hits replay the exact cached
+        // result, misses run the engine and backfill. Rows without
+        // provenance go straight to the engine.
+        RowProvenance prov = ProvenanceOf(table, r);
         slot.cells.reserve(out_columns.size());
         for (size_t idx : pass_idx) {
           if (!row.cells[idx]->IsConstant()) {
@@ -271,7 +277,8 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
         for (size_t i = 0; i < exp_idx.size(); ++i) {
           PIP_ASSIGN_OR_RETURN(
               ExpectationResult res,
-              engine.Expectation(row.cells[exp_idx[i]], row.condition,
+              IndexedExpectation(engine, prov, row.cells[exp_idx[i]],
+                                 row.condition,
                                  spec.with_confidence && i == 0));
           if (std::isnan(res.expectation) && res.probability == 0.0) {
             slot.emit = false;
@@ -282,8 +289,9 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
         }
         if (spec.with_confidence) {
           if (exp_idx.empty()) {
-            PIP_ASSIGN_OR_RETURN(ExpectationResult res,
-                                 engine.Confidence(row.condition));
+            PIP_ASSIGN_OR_RETURN(
+                ExpectationResult res,
+                IndexedConfidence(engine, prov, row.condition));
             if (res.probability <= 0.0) {
               slot.emit = false;
               return Status::OK();
@@ -309,6 +317,9 @@ StatusOr<Table> AnalyzeJointConfidence(const CTable& table,
     const CTableRow* exemplar;
     std::vector<Condition> disjuncts;
   };
+  // Index anchor for the per-group aconf entries: the exemplar row of
+  // each group (the key itself serializes the full disjunct list, so the
+  // anchor only scopes invalidation).
   std::vector<Group> groups;
   std::unordered_map<size_t, std::vector<size_t>> buckets;
   auto hash_cells = [](const std::vector<ExprPtr>& cells) {
@@ -361,8 +372,11 @@ StatusOr<Table> AnalyzeJointConfidence(const CTable& table,
                 "project to deterministic columns first");
           }
         }
-        PIP_ASSIGN_OR_RETURN(probs[g],
-                             engine.JointConfidence(groups[g].disjuncts));
+        RowProvenance prov{table.table_id(), table.generation(),
+                           groups[g].exemplar->row_id};
+        PIP_ASSIGN_OR_RETURN(
+            probs[g],
+            IndexedJointConfidence(engine, prov, groups[g].disjuncts));
         return Status::OK();
       }));
   for (size_t g = 0; g < groups.size(); ++g) {

@@ -8,6 +8,7 @@
 #include "src/common/running_stats.h"
 #include "src/common/thread_pool.h"
 #include "src/ctable/algebra.h"
+#include "src/sampling/index_ops.h"
 
 namespace pip {
 
@@ -25,7 +26,10 @@ SamplingEngine AggregateEvaluator::RowEngine(size_t num_rows) const {
     opts.delta = std::min(0.5, opts.delta * std::sqrt(
                                    static_cast<double>(num_rows)));
   }
-  return SamplingEngine(&engine_->pool(), opts);
+  // Share the base engine's plan cache and result index: in fixed-sample
+  // mode (where opts are untouched) aggregate rows and Analyze rows then
+  // hit the very same index entries.
+  return engine_->WithOptions(opts);
 }
 
 StatusOr<double> AggregateEvaluator::ExpectedSum(
@@ -42,8 +46,9 @@ StatusOr<double> AggregateEvaluator::ExpectedSum(
       [&](size_t r) -> Status {
         PIP_ASSIGN_OR_RETURN(
             ExpectationResult res,
-            row_engine.Expectation(rows[r].cells[col], rows[r].condition,
-                                   /*compute_probability=*/true));
+            IndexedExpectation(row_engine, ProvenanceOf(table, r),
+                               rows[r].cells[col], rows[r].condition,
+                               /*compute_probability=*/true));
         if (!std::isnan(res.expectation) && res.probability > 0.0) {
           terms[r] = res.expectation * res.probability;
         }
@@ -63,8 +68,10 @@ StatusOr<double> AggregateEvaluator::ExpectedCount(const CTable& table) const {
   PIP_RETURN_IF_ERROR(ParallelRows(
       rows.size(), row_engine.options().num_threads,
       [&](size_t r) -> Status {
-        PIP_ASSIGN_OR_RETURN(ExpectationResult res,
-                             row_engine.Confidence(rows[r].condition));
+        PIP_ASSIGN_OR_RETURN(
+            ExpectationResult res,
+            IndexedConfidence(row_engine, ProvenanceOf(table, r),
+                              rows[r].condition));
         probs[r] = res.probability;
         return Status::OK();
       }));
@@ -92,8 +99,9 @@ StatusOr<double> AggregateEvaluator::ExpectedAvg(
       [&](size_t r) -> Status {
         PIP_ASSIGN_OR_RETURN(
             ExpectationResult res,
-            row_engine.Expectation(rows[r].cells[col], rows[r].condition,
-                                   /*compute_probability=*/true));
+            IndexedExpectation(row_engine, ProvenanceOf(table, r),
+                               rows[r].cells[col], rows[r].condition,
+                               /*compute_probability=*/true));
         // Unsatisfiable (or collapsed) rows contribute to neither sum
         // nor count — they are absent from (almost) every world.
         if (!std::isnan(res.expectation) && res.probability > 0.0) {

@@ -8,6 +8,7 @@
 #include "src/common/special_math.h"
 #include "src/common/thread_pool.h"
 #include "src/sampling/metropolis.h"
+#include "src/sampling/shape_key.h"
 
 namespace pip {
 
@@ -278,12 +279,10 @@ StatusOr<std::vector<SamplingEngine::GroupPlan>> SamplingEngine::PlanGroups(
   std::vector<VariableGroup> groups;
   std::vector<bool> exact_eligible;
   if (options_.use_independence) {
-    uint32_t flags = (options_.use_exact_cdf ? 1u : 0u) |
-                     (options_.use_cdf_sampling ? 2u : 0u);
     std::vector<VarRef> canon_vars;
     std::string key =
-        PlanCache::ShapeKey(condition, target_vars, *pool_, flags,
-                            &canon_vars);
+        PlanShapeKey(condition, target_vars, *pool_,
+                     PlanShapeFlagBits(options_), &canon_vars);
     std::shared_ptr<const PlanSkeleton> skeleton = plan_cache_->Lookup(key);
     if (skeleton == nullptr) {
       groups = PartitionIndependent(condition, target_vars);

@@ -29,6 +29,7 @@
 #include "src/dist/variable_pool.h"
 #include "src/expr/condition.h"
 #include "src/expr/expr.h"
+#include "src/index/expectation_index.h"
 #include "src/sampling/plan_cache.h"
 
 namespace pip {
@@ -102,6 +103,19 @@ struct SamplingOptions {
   /// `metropolis_check_after` attempts of a group.
   double metropolis_threshold = 0.995;
   size_t metropolis_check_after = 2000;
+
+  // -- Materialized expectation index (src/index/) ----------------------
+  /// Serve/backfill the result index on the hot query paths (Analyze,
+  /// aconf, expected aggregates). Hits are bit-identical replays; off
+  /// forces every call down the Monte Carlo path.
+  bool index_enabled = true;
+  /// Build index entries (with moment/quantile/CDF summaries) eagerly on
+  /// catalogue writes instead of lazily on first query.
+  bool index_eager_build = false;
+  /// Byte budget of the shared index's LRU (0 = unlimited). Applied to
+  /// the database-wide index whenever an engine is created, so the
+  /// last-configured session wins; see README "Expectation index".
+  size_t index_memory_budget = ExpectationIndex::kDefaultMemoryBudget;
 };
 
 /// \brief Result of an expectation (or confidence) computation.
@@ -144,6 +158,25 @@ class SamplingEngine {
   const SamplingOptions& options() const { return options_; }
   SamplingOptions* mutable_options() { return &options_; }
   const VariablePool& pool() const { return *pool_; }
+
+  /// Copy of this engine with different options, sharing the pool, the
+  /// plan cache, and the result index. This is how derived engines
+  /// (per-row aggregate engines with relaxed tolerances) keep amortizing
+  /// the process-wide caches instead of silently starting cold.
+  SamplingEngine WithOptions(SamplingOptions options) const {
+    SamplingEngine copy(pool_, std::move(options), plan_cache_);
+    copy.result_index_ = result_index_;
+    return copy;
+  }
+
+  /// The shared materialized-result index, or nullptr when none is
+  /// attached (the Database attaches its process-lifetime instance to
+  /// every engine it hands out). The index layer (index_ops.h) consults
+  /// it; the core sampling paths below never do.
+  ExpectationIndex* result_index() const { return result_index_.get(); }
+  void set_result_index(std::shared_ptr<ExpectationIndex> index) {
+    result_index_ = std::move(index);
+  }
 
   /// Hit/miss counters of the shared plan-shape cache (copies of one
   /// engine share the cache, so Analyze-style row batches amortize
@@ -271,6 +304,8 @@ class SamplingEngine {
   SamplingOptions options_;
   /// Shared (and internally synchronized) across engine copies.
   std::shared_ptr<PlanCache> plan_cache_;
+  /// Shared materialized-result index; null when not attached.
+  std::shared_ptr<ExpectationIndex> result_index_;
 };
 
 }  // namespace pip

@@ -1,102 +1,17 @@
 #include "src/sampling/plan_cache.h"
 
-#include <map>
-
-#include "src/expr/expr.h"
+#include "src/sampling/shape_key.h"
 
 namespace pip {
-
-namespace {
-
-/// Canonicalizing serializer state: var ids numbered by first appearance.
-struct KeyBuilder {
-  const VariablePool* pool;
-  std::map<uint64_t, size_t> id_canon;
-  std::vector<VarRef> canon_vars;
-  std::map<VarRef, size_t> slot_of;
-  std::string out;
-
-  void AppendVar(const VarRef& v) {
-    auto [it, inserted] = id_canon.emplace(v.var_id, id_canon.size());
-    if (slot_of.emplace(v, canon_vars.size()).second) {
-      canon_vars.push_back(v);
-    }
-    out += 'v';
-    out += std::to_string(it->second);
-    out += '.';
-    out += std::to_string(v.component);
-    out += ':';
-    // The class name pins capabilities (CDF/PDF/finite domain) and the
-    // component count, so skeleton decisions transfer between rows.
-    auto info = pool->Info(v.var_id);
-    out += info.ok() ? info.value()->class_name : "?";
-  }
-
-  void AppendExpr(const Expr& e) {
-    switch (e.op()) {
-      case ExprOp::kConst:
-        // Constants abstract to their type: numeric-ness decides exact
-        // eligibility, the value itself is per-row data.
-        out += 'c';
-        out += std::to_string(static_cast<int>(e.value().type()));
-        return;
-      case ExprOp::kVar:
-        AppendVar(e.var());
-        return;
-      case ExprOp::kFunc:
-        out += 'f';
-        out += std::to_string(static_cast<int>(e.func()));
-        break;
-      case ExprOp::kAdd:
-        out += '+';
-        break;
-      case ExprOp::kSub:
-        out += '-';
-        break;
-      case ExprOp::kMul:
-        out += '*';
-        break;
-      case ExprOp::kDiv:
-        out += '/';
-        break;
-      case ExprOp::kNeg:
-        out += '~';
-        break;
-    }
-    out += '(';
-    for (const auto& child : e.children()) AppendExpr(*child);
-    out += ')';
-  }
-};
-
-}  // namespace
 
 std::string PlanCache::ShapeKey(const Condition& condition,
                                 const VarSet& target_vars,
                                 const VariablePool& pool, uint32_t flag_bits,
                                 std::vector<VarRef>* canon_vars) {
-  KeyBuilder b;
-  b.pool = &pool;
-  // Registry generation first: re-registering a plugin under an existing
-  // name changes capabilities behind an unchanged class name, so skeletons
-  // built before the swap must not be served after it.
-  b.out += 'G';
-  b.out += std::to_string(pool.registry().generation());
-  b.out += "|F";
-  b.out += std::to_string(flag_bits);
-  for (const auto& atom : condition.atoms()) {
-    b.out += "|A";
-    b.out += std::to_string(static_cast<int>(atom.op()));
-    b.out += ':';
-    b.AppendExpr(*atom.lhs());
-    b.out += '?';
-    b.AppendExpr(*atom.rhs());
-  }
-  b.out += "|T:";
-  for (const VarRef& v : target_vars) b.AppendVar(v);
-  canon_vars->clear();
-  *canon_vars = std::move(b.canon_vars);
-  return std::move(b.out);
+  // One serializer (shape_key.cc) feeds both this cache and the
+  // expectation index, so the two cannot drift on what "same shape"
+  // means.
+  return PlanShapeKey(condition, target_vars, pool, flag_bits, canon_vars);
 }
 
 std::shared_ptr<const PlanSkeleton> PlanCache::Lookup(const std::string& key) {

@@ -1,0 +1,68 @@
+/// \file shape_key.h
+/// \brief Shared canonical serialization behind the two caches that sit
+/// above the sampling engine.
+///
+/// Two caches key on (condition, target expression) pairs:
+///   * the PlanCache memoizes structure-only plan skeletons under a
+///     *shape* key — constants abstracted to their Value type, variables
+///     canonicalized by first appearance and pinned to their
+///     distribution class;
+///   * the ExpectationIndex memoizes *results* under an exact key —
+///     constant bit patterns, verbatim variable ids (a var id pins its
+///     distribution and parameters for the pool's lifetime), the RNG
+///     seed/stream identity, and a fingerprint of every sampling option
+///     that can change a sampled value.
+/// Both serializers share one KeyBuilder here, and both lead with the
+/// DistributionRegistry generation counter, so the two caches cannot
+/// drift on what "same shape" means and plugin re-registration under an
+/// existing class name invalidates stale entries everywhere at once.
+
+#ifndef PIP_SAMPLING_SHAPE_KEY_H_
+#define PIP_SAMPLING_SHAPE_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dist/variable_pool.h"
+#include "src/expr/condition.h"
+#include "src/expr/expr.h"
+
+namespace pip {
+
+struct SamplingOptions;
+
+/// Planning-relevant engine flags folded into plan shape keys (the
+/// decisions PlanGroups bakes into a skeleton).
+uint32_t PlanShapeFlagBits(const SamplingOptions& options);
+
+/// Canonical shape key of (condition, target_vars): constants abstract to
+/// their type, var ids number by first appearance (the key also encodes
+/// which atoms share variables). Appends the distinct VarRefs in
+/// canonical slot order to *canon_vars (cleared first).
+std::string PlanShapeKey(const Condition& condition, const VarSet& target_vars,
+                         const VariablePool& pool, uint32_t flag_bits,
+                         std::vector<VarRef>* canon_vars);
+
+/// Fingerprint of every SamplingOptions field that can change a sampled
+/// value — bit-exact doubles, all strategy toggles, the sample-index
+/// offset. Deliberately excludes num_threads: results are bit-identical
+/// across thread counts (the engine's determinism contract), so an index
+/// entry backfilled at one thread count serves every other.
+std::string SamplingOptionsFingerprint(const SamplingOptions& options);
+
+/// Exact result key for the expectation index. `op_tag` distinguishes
+/// the operator ('E' expectation, 'P' expectation+probability,
+/// 'C' confidence, 'J' joint confidence); `expr` may be null for
+/// condition-only operators; `conditions` holds one conjunction
+/// (expectation/conf) or the ordered disjunct list (aconf). The key pins
+/// the registry generation, the pool seed, the options fingerprint, and
+/// the exact content of every expression and atom, so equal keys imply
+/// bit-identical recomputation.
+std::string ExactResultKey(char op_tag, const ExprPtr& expr,
+                           const std::vector<const Condition*>& conditions,
+                           const VariablePool& pool,
+                           const SamplingOptions& options);
+
+}  // namespace pip
+
+#endif  // PIP_SAMPLING_SHAPE_KEY_H_

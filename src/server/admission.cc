@@ -1,16 +1,21 @@
 #include "src/server/admission.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace pip {
 namespace server {
 
-AdmissionGate::Ticket AdmissionGate::Acquire() {
+AdmissionGate::Ticket AdmissionGate::Acquire(size_t weight) {
+  weight = std::max<size_t>(1, weight);
+  if (capacity_ != 0) weight = std::min(weight, capacity_);
   std::unique_lock<std::mutex> lock(mu_);
   uint64_t wait_us = 0;
-  if (capacity_ != 0 && stats_.in_flight >= capacity_) {
+  if (capacity_ != 0 && stats_.in_flight_weight + weight > capacity_) {
     auto start = std::chrono::steady_clock::now();
-    cv_.wait(lock, [&] { return stats_.in_flight < capacity_; });
+    cv_.wait(lock, [&] {
+      return stats_.in_flight_weight + weight <= capacity_;
+    });
     wait_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
@@ -19,16 +24,20 @@ AdmissionGate::Ticket AdmissionGate::Acquire() {
     stats_.total_wait_us += wait_us;
   }
   ++stats_.admitted;
+  stats_.admitted_weight += weight;
   ++stats_.in_flight;
-  return Ticket(this, wait_us);
+  stats_.in_flight_weight += weight;
+  return Ticket(this, wait_us, weight);
 }
 
-void AdmissionGate::Release() {
+void AdmissionGate::Release(size_t weight) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     --stats_.in_flight;
+    stats_.in_flight_weight -= weight;
   }
-  cv_.notify_one();
+  // A released heavy ticket can unblock several queued light ones.
+  cv_.notify_all();
 }
 
 }  // namespace server

@@ -4,10 +4,13 @@
 /// Monte Carlo statements (anything invoking a probability-removing
 /// function) each fan out across the shared thread pool; letting every
 /// connection run one simultaneously just makes them time-slice each
-/// other's pool shares and blows up tail latency. The gate bounds how
-/// many sampling statements run at once: excess statements queue FIFO
-/// and report their queue wait in the wire response, so clients can see
-/// admission delay separately from execution time.
+/// other's pool shares and blows up tail latency. The gate bounds the
+/// estimated sampling *volume* in flight, not the statement count: each
+/// statement acquires a weight proportional to its expected draw count
+/// (rows x samples), so ten tiny lookups can share the window one giant
+/// sweep would fill. Excess statements queue and report their queue
+/// wait in the wire response, so clients can see admission delay
+/// separately from execution time.
 ///
 /// C++17 has no std::counting_semaphore, so this is the classic
 /// mutex + condvar counting semaphore, plus wait-time measurement and
@@ -35,7 +38,8 @@ class AdmissionGate {
    public:
     Ticket() = default;
     Ticket(Ticket&& other) noexcept
-        : gate_(other.gate_), wait_us_(other.wait_us_) {
+        : gate_(other.gate_), wait_us_(other.wait_us_),
+          weight_(other.weight_) {
       other.gate_ = nullptr;
     }
     Ticket& operator=(Ticket&& other) noexcept {
@@ -43,6 +47,7 @@ class AdmissionGate {
         Release();
         gate_ = other.gate_;
         wait_us_ = other.wait_us_;
+        weight_ = other.weight_;
         other.gate_ = nullptr;
       }
       return *this;
@@ -53,36 +58,45 @@ class AdmissionGate {
 
     /// Microseconds this statement queued before admission.
     uint64_t wait_us() const { return wait_us_; }
+    /// Weight units this ticket holds (post-clamp).
+    size_t weight() const { return gate_ != nullptr ? weight_ : 0; }
 
    private:
     friend class AdmissionGate;
-    Ticket(AdmissionGate* gate, uint64_t wait_us)
-        : gate_(gate), wait_us_(wait_us) {}
+    Ticket(AdmissionGate* gate, uint64_t wait_us, size_t weight)
+        : gate_(gate), wait_us_(wait_us), weight_(weight) {}
     void Release() {
-      if (gate_ != nullptr) gate_->Release();
+      if (gate_ != nullptr) gate_->Release(weight_);
       gate_ = nullptr;
     }
 
     AdmissionGate* gate_ = nullptr;
     uint64_t wait_us_ = 0;
+    size_t weight_ = 0;
   };
 
   struct Stats {
-    uint64_t admitted = 0;        ///< Total tickets granted.
-    uint64_t queued = 0;          ///< Tickets that had to wait.
-    uint64_t total_wait_us = 0;   ///< Sum of all queue waits.
-    size_t in_flight = 0;         ///< Currently held tickets.
+    uint64_t admitted = 0;         ///< Total tickets granted.
+    uint64_t queued = 0;           ///< Tickets that had to wait.
+    uint64_t total_wait_us = 0;    ///< Sum of all queue waits.
+    uint64_t admitted_weight = 0;  ///< Total weight units granted.
+    size_t in_flight = 0;          ///< Currently held tickets.
+    size_t in_flight_weight = 0;   ///< Weight units currently held.
   };
 
-  /// `capacity` = max concurrently admitted statements; 0 = unlimited
-  /// (the gate degenerates to a wait-free counter).
+  /// `capacity` = max weight units admitted concurrently (with the
+  /// default weight of 1 per Acquire this is exactly the old
+  /// max-statements bound); 0 = unlimited (the gate degenerates to a
+  /// wait-free counter).
   explicit AdmissionGate(size_t capacity) : capacity_(capacity) {}
 
   AdmissionGate(const AdmissionGate&) = delete;
   AdmissionGate& operator=(const AdmissionGate&) = delete;
 
-  /// Blocks until a slot is free, then returns the held ticket.
-  Ticket Acquire();
+  /// Blocks until `weight` units are free, then returns the held
+  /// ticket. Weights above the capacity are clamped to it, so an
+  /// over-sized statement still runs (alone) instead of deadlocking.
+  Ticket Acquire(size_t weight = 1);
 
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -92,7 +106,7 @@ class AdmissionGate {
   size_t capacity() const { return capacity_; }
 
  private:
-  void Release();
+  void Release(size_t weight);
 
   const size_t capacity_;
   mutable std::mutex mu_;

@@ -14,6 +14,15 @@
 namespace pip {
 namespace server {
 
+namespace {
+
+// One admission weight unit ~ this many estimated Monte Carlo draws, so
+// a statement at or below a small point lookup costs exactly one unit
+// and max_sampling keeps its old "concurrent small statements" reading.
+constexpr size_t kDrawsPerWeightUnit = 1000;
+
+}  // namespace
+
 Status Server::Start() {
   if (listen_fd_ >= 0) return Status::Internal("server already started");
 
@@ -91,8 +100,15 @@ void Server::ServeConnection(int fd) {
       AdmissionGate::Ticket ticket;
       // Gate only statements that will actually run Monte Carlo
       // sampling; DDL/DML and symbolic SELECTs stay cheap and ungated.
+      // The weight scales with estimated draw volume under this
+      // session's live options, so a table sweep holds proportionally
+      // more of the window than a point lookup.
       if (sql::StatementMaySample(statement)) {
-        ticket = gate_.Acquire();
+        size_t volume = sql::EstimateSampleVolume(
+            *db_, statement, *session.mutable_options());
+        size_t weight =
+            (volume + kDrawsPerWeightUnit - 1) / kDrawsPerWeightUnit;
+        ticket = gate_.Acquire(weight);
         queue_us = ticket.wait_us();
       }
       sql::SqlResult result = session.Execute(statement);

@@ -39,7 +39,10 @@ namespace server {
 struct ServerOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;        ///< 0 = kernel-assigned ephemeral port.
-  size_t max_sampling = 0;  ///< Admission-gate capacity; 0 = unlimited.
+  /// Admission-gate capacity in weight units (one unit ~ 1000 estimated
+  /// Monte Carlo draws; a small statement costs one unit, a table sweep
+  /// proportionally more); 0 = unlimited.
+  size_t max_sampling = 0;
 };
 
 /// \brief Accepts connections and serves the PIP1 statement protocol.

@@ -389,6 +389,28 @@ class Parser {
       }
       return SqlResult::FromTable(std::move(table));
     }
+    if (Peek().Is("INDEX")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      const ExpectationIndex::Stats stats = db_->result_index_stats();
+      Table table(Schema({"metric", "value"}));
+      const std::pair<const char*, uint64_t> rows[] = {
+          {"entries", stats.entries},
+          {"bytes", stats.bytes},
+          {"memory_budget", stats.memory_budget},
+          {"hits", stats.hits},
+          {"misses", stats.misses},
+          {"inserts", stats.inserts},
+          {"evictions", stats.evictions},
+          {"invalidations", stats.invalidations},
+          {"stale_rejects", stats.stale_rejects},
+      };
+      for (const auto& [metric, value] : rows) {
+        PIP_RETURN_IF_ERROR(table.Append(
+            {Value(std::string(metric)), Value(static_cast<double>(value))}));
+      }
+      return SqlResult::FromTable(std::move(table));
+    }
     if (Peek().Is("TABLES")) {
       Advance();
       PIP_RETURN_IF_ERROR(ExpectStatementEnd());
@@ -410,7 +432,7 @@ class Parser {
       }
       return SqlResult::FromTable(std::move(table));
     }
-    return Error("expected DISTRIBUTIONS, KNOBS, TABLES or VARIABLES");
+    return Error("expected DISTRIBUTIONS, INDEX, KNOBS, TABLES or VARIABLES");
   }
 
   StatusOr<SqlResult> ParseCreate() {
@@ -491,6 +513,14 @@ class Parser {
     // Atomic under the catalogue lock: concurrent INSERTs into one table
     // serialize instead of losing rows to a read-copy-update race.
     PIP_RETURN_IF_ERROR(db_->AppendRows(name, std::move(rows)));
+    // AppendRows only honors the database-default eager-build knob; a
+    // session that toggled INDEX_EAGER_BUILD warms the index itself,
+    // under its own sampling options. The insert is already committed,
+    // so a build failure only leaves the index cold.
+    if (options_->index_eager_build) {
+      Status build_status = db_->BuildIndex(name, *options_);
+      (void)build_status;
+    }
     return SqlResult::Ack("INSERT " + std::to_string(inserted));
   }
 
@@ -821,6 +851,42 @@ bool StatementMaySample(const std::string& statement) {
     }
   }
   return false;
+}
+
+size_t EstimateSampleVolume(const Database& db, const std::string& statement,
+                            const SamplingOptions& options) {
+  if (!StatementMaySample(statement)) return 0;
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok()) return 0;
+  const std::vector<Token>& ts = tokens.value();
+  // Lexical FROM scan: every table named after a FROM contributes its
+  // current row count. Summing (rather than multiplying cross joins)
+  // keeps the estimate cheap and stable; it only has to rank statements
+  // against each other, not predict runtimes.
+  size_t rows = 0;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != TokenKind::kIdent || ToUpper(ts[i].text) != "FROM") {
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < ts.size() && ts[j].kind == TokenKind::kIdent) {
+      auto table = db.GetTable(ts[j].text);
+      if (table.ok()) rows += table.value()->rows().size();
+      if (j + 1 < ts.size() && ts[j + 1].IsSymbol(",")) {
+        j += 2;
+      } else {
+        break;
+      }
+    }
+    i = j;
+  }
+  // Per-row draw estimate: the pinned count in fixed mode, the adaptive
+  // floor otherwise (the stopping rule draws at least that many).
+  size_t per_row = options.fixed_samples > 0 ? options.fixed_samples
+                                             : options.min_samples;
+  if (per_row == 0) per_row = 1;
+  if (rows == 0) rows = 1;
+  return rows * per_row;
 }
 
 SqlResult Session::Execute(const std::string& statement) {

@@ -149,6 +149,16 @@ struct SqlResult {
 /// literals cannot fake a match). Unparseable statements return false.
 bool StatementMaySample(const std::string& statement);
 
+/// Estimated Monte Carlo draw volume of `statement` against `db`'s
+/// current catalogue: (row counts of the tables named after FROM) x
+/// (per-row draws implied by `options` — fixed_samples when pinned,
+/// else the adaptive floor min_samples). Returns 0 for statements that
+/// cannot sample. The server's admission gate weights statements by
+/// this so one table-sweep Analyze costs proportionally more of the
+/// window than a single-row lookup.
+size_t EstimateSampleVolume(const Database& db, const std::string& statement,
+                            const SamplingOptions& options);
+
 /// \brief Stateful SQL session against one Database.
 ///
 /// Sessions are cheap; the server creates one per connection. Each

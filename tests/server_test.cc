@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "src/server/client.h"
@@ -76,6 +77,115 @@ TEST(AdmissionGateTest, MovedTicketReleasesOnce) {
     EXPECT_EQ(gate.stats().in_flight, 1u);
   }
   EXPECT_EQ(gate.stats().in_flight, 0u);
+}
+
+TEST(AdmissionGateTest, WeightedTicketsShareTheWindow) {
+  AdmissionGate gate(4);
+  AdmissionGate::Ticket heavy = gate.Acquire(3);
+  AdmissionGate::Ticket light = gate.Acquire(1);  // Fits alongside.
+  EXPECT_EQ(heavy.weight(), 3u);
+  EXPECT_EQ(light.weight(), 1u);
+  AdmissionGate::Stats stats = gate.stats();
+  EXPECT_EQ(stats.in_flight, 2u);
+  EXPECT_EQ(stats.in_flight_weight, 4u);
+  EXPECT_EQ(stats.admitted_weight, 4u);
+}
+
+TEST(AdmissionGateTest, OversizedWeightClampsToCapacity) {
+  AdmissionGate gate(2);
+  // A statement heavier than the whole window must still run (alone)
+  // instead of deadlocking.
+  AdmissionGate::Ticket huge = gate.Acquire(100);
+  EXPECT_EQ(huge.weight(), 2u);
+  EXPECT_EQ(gate.stats().in_flight_weight, 2u);
+}
+
+TEST(AdmissionGateTest, HeavyReleaseUnblocksMultipleLight) {
+  AdmissionGate gate(3);
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  {
+    AdmissionGate::Ticket heavy = gate.Acquire(3);  // Fills the window.
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([&] {
+        AdmissionGate::Ticket light = gate.Acquire(1);
+        done.fetch_add(1);
+      });
+    }
+    // The lights cannot pass while the heavy ticket holds all units.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(done.load(), 0);
+  }
+  for (auto& t : threads) t.join();  // One release admits all three.
+  EXPECT_EQ(done.load(), 3);
+  EXPECT_EQ(gate.stats().in_flight_weight, 0u);
+}
+
+TEST(AdmissionGateTest, WeightedBoundHoldsUnderContention) {
+  AdmissionGate gate(4);
+  std::atomic<int> weight_in_flight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      size_t weight = 1 + static_cast<size_t>(i % 3);
+      for (int j = 0; j < 25; ++j) {
+        AdmissionGate::Ticket ticket = gate.Acquire(weight);
+        int now = weight_in_flight.fetch_add(static_cast<int>(weight)) +
+                  static_cast<int>(weight);
+        int seen = max_seen.load();
+        while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::yield();
+        weight_in_flight.fetch_sub(static_cast<int>(weight));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_seen.load(), 4);
+  EXPECT_EQ(gate.stats().in_flight_weight, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Statement weight estimation.
+// ---------------------------------------------------------------------------
+
+TEST(EstimateSampleVolumeTest, ScalesWithRowsAndSamples) {
+  Database db(7);
+  sql::Session session(&db);
+  session.Execute("CREATE TABLE small (v)");
+  session.Execute("INSERT INTO small VALUES (Normal(0, 1))");
+  session.Execute("CREATE TABLE big (v)");
+  for (int i = 0; i < 4; ++i) {
+    session.Execute(
+        "INSERT INTO big VALUES (Normal(0, 1)), (Normal(0, 1)), "
+        "(Normal(0, 1)), (Normal(0, 1))");
+  }
+  SamplingOptions options;
+  options.fixed_samples = 100;
+  // Non-sampling statements carry no volume at all.
+  EXPECT_EQ(sql::EstimateSampleVolume(db, "SELECT v FROM big", options), 0u);
+  // 1 row x 100 draws vs 16 rows x 100 draws.
+  EXPECT_EQ(sql::EstimateSampleVolume(
+                db, "SELECT expected_sum(v) FROM small", options),
+            100u);
+  EXPECT_EQ(sql::EstimateSampleVolume(
+                db, "SELECT expected_sum(v) FROM big", options),
+            1600u);
+  // Multi-table FROM sums the named tables' rows.
+  EXPECT_EQ(sql::EstimateSampleVolume(
+                db, "SELECT expected_sum(v) FROM small, big", options),
+            1700u);
+  // Unknown tables fall back to the 1-row floor.
+  EXPECT_EQ(sql::EstimateSampleVolume(
+                db, "SELECT expected_sum(v) FROM nope", options),
+            100u);
+  // Adaptive mode uses the sampling floor as the per-row estimate.
+  options.fixed_samples = 0;
+  options.min_samples = 30;
+  EXPECT_EQ(sql::EstimateSampleVolume(
+                db, "SELECT expected_sum(v) FROM big", options),
+            480u);
 }
 
 // ---------------------------------------------------------------------------
