@@ -31,6 +31,14 @@ struct BenchRecord {
   double samples = 0;          ///< Monte Carlo samples configured.
   double samples_per_sec = 0;  ///< samples * rows / wall where meaningful.
   double value = 0;            ///< The query's numeric result (bit-compare).
+  // Scheduler-counter deltas over the measured region (ThreadPool
+  // SchedulerStats; see SHOW POOL). Zero when a bench doesn't sample
+  // them.
+  double pool_regions = 0;       ///< Fanned-out parallel regions.
+  double pool_nested_tasks = 0;  ///< Executed helper tasks of nested regions.
+  double pool_joiner_tasks = 0;  ///< Tasks executed inside ParallelFor joins.
+  double pool_steals = 0;        ///< Cross-deque task takes.
+  double pool_join_wait_micros = 0;  ///< Blocked join wait time.
 };
 
 inline std::string BenchJsonPath() {
@@ -50,7 +58,12 @@ inline std::string ToJson(const BenchRecord& r) {
      << "\",\"threads\":" << r.threads
      << ",\"wall_seconds\":" << r.wall_seconds << ",\"samples\":" << r.samples
      << ",\"samples_per_sec\":" << r.samples_per_sec
-     << ",\"value\":" << r.value << "}";
+     << ",\"value\":" << r.value
+     << ",\"pool_regions\":" << r.pool_regions
+     << ",\"pool_nested_tasks\":" << r.pool_nested_tasks
+     << ",\"pool_joiner_tasks\":" << r.pool_joiner_tasks
+     << ",\"pool_steals\":" << r.pool_steals
+     << ",\"pool_join_wait_micros\":" << r.pool_join_wait_micros << "}";
   return os.str();
 }
 

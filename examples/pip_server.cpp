@@ -21,6 +21,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "src/common/thread_pool.h"
 #include "src/server/server.h"
 #include "src/server/wire.h"
 #include "src/sql/knobs.h"
@@ -106,5 +107,22 @@ int main(int argc, char** argv) {
   std::printf("pip-server shutting down (%llu connections served)\n",
               static_cast<unsigned long long>(srv.connections_accepted()));
   srv.Stop();
+  // Scheduler counters at shutdown (also queryable live via SHOW POOL):
+  // how the two parallel axes actually shared the pool over this run.
+  const ThreadPool::SchedulerStats pool_stats =
+      ThreadPool::Shared().scheduler_stats();
+  std::printf(
+      "pip-server pool stats: threads=%llu regions=%llu inline=%llu "
+      "worker_tasks=%llu joiner_tasks=%llu nested_tasks=%llu steals=%llu "
+      "join_waits=%llu join_wait_micros=%llu\n",
+      static_cast<unsigned long long>(ThreadPool::Shared().num_threads()),
+      static_cast<unsigned long long>(pool_stats.regions),
+      static_cast<unsigned long long>(pool_stats.inline_regions),
+      static_cast<unsigned long long>(pool_stats.worker_tasks),
+      static_cast<unsigned long long>(pool_stats.joiner_tasks),
+      static_cast<unsigned long long>(pool_stats.nested_tasks),
+      static_cast<unsigned long long>(pool_stats.steals),
+      static_cast<unsigned long long>(pool_stats.join_waits),
+      static_cast<unsigned long long>(pool_stats.join_wait_micros));
   return 0;
 }

@@ -6,10 +6,11 @@
 /// grouped aggregation) evaluate many independent rows, each of which is
 /// itself a parallel sampling computation. The row dimension is the
 /// outer parallel axis: when the caller's parallelism budget allows,
-/// rows fan out across the pool and each row body runs under a budget
-/// of 1 (its sample sharding degrades to inline execution — see
-/// thread_pool.h's nesting policy); with one row or no budget the row
-/// loop runs serially and the sample axis keeps the whole budget.
+/// rows fan out across the pool and each row body runs under the
+/// region's fractional budget share (max(1, budget / row executors), see
+/// thread_pool.h's nesting policy), so a few-rows-many-threads batch
+/// splits the pool across rows × samples; with one row or no budget the
+/// row loop runs serially and the sample axis keeps the whole budget.
 ///
 /// Determinism contract: the body writes each row's outputs to
 /// pre-sized per-row slots, callers fold emitted rows in row order, and
@@ -20,6 +21,17 @@
 /// the error a serial loop would have returned. Rows strictly after the
 /// earliest known failing row may be skipped — a serial loop never
 /// reaches them, and their outputs are discarded anyway.
+///
+/// Mid-body cancellation: the skip check before a row body fires only
+/// once, when the row is acquired — a long row body dispatched just
+/// before an earlier row recorded its failure used to run to
+/// completion anyway. Bodies that take the two-argument form
+/// `body(row, const RowBatchContext&)` can poll `ctx.Cancelled()`
+/// (typically by wiring it into `SamplingEngine::WithCancelCheck`, which
+/// polls at chunk-fold barriers) and bail early with any status: a
+/// cancelled row's status slot is only reachable when an earlier row
+/// already failed, so the earlier row's error is what surfaces and the
+/// abort never changes what a caller observes.
 
 #ifndef PIP_COMMON_ROW_PARALLEL_H_
 #define PIP_COMMON_ROW_PARALLEL_H_
@@ -27,6 +39,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/status.h"
@@ -34,10 +47,52 @@
 
 namespace pip {
 
-/// Runs `body(row)` for every row in [0, num_rows); body returns the
-/// row's Status and writes its outputs to per-row slots the caller
-/// pre-sized. Returns the first non-OK status in row order.
-/// `num_threads` follows the engine convention (0 = hardware
+/// Per-row view of a ParallelRows batch's failure state, handed to
+/// two-argument row bodies. Copyable and cheap; valid for the duration
+/// of the body call it was passed to.
+class RowBatchContext {
+ public:
+  /// Serial-path / standalone context: never cancelled.
+  RowBatchContext() : first_error_(nullptr), row_(0) {}
+  RowBatchContext(const std::atomic<size_t>* first_error, size_t row)
+      : first_error_(first_error), row_(row) {}
+
+  /// True once a row strictly before this one has recorded a failure:
+  /// this row's output will be discarded, so the body should stop as
+  /// soon as convenient. Monotonic (never goes back to false) and safe
+  /// to poll from any thread the body fans out to.
+  bool Cancelled() const {
+    return first_error_ != nullptr &&
+           first_error_->load(std::memory_order_relaxed) < row_;
+  }
+
+ private:
+  const std::atomic<size_t>* first_error_;
+  size_t row_;
+};
+
+namespace internal {
+
+/// Dispatches to `body(row, ctx)` when the body accepts the context,
+/// else to the legacy `body(row)` form.
+template <typename Body>
+Status InvokeRowBody(const Body& body, size_t row,
+                     const RowBatchContext& ctx) {
+  if constexpr (std::is_invocable_v<const Body&, size_t,
+                                    const RowBatchContext&>) {
+    return body(row, ctx);
+  } else {
+    return body(row);
+  }
+}
+
+}  // namespace internal
+
+/// Runs `body(row)` — or `body(row, const RowBatchContext&)` for bodies
+/// that support mid-row cancellation — for every row in [0, num_rows);
+/// body returns the row's Status and writes its outputs to per-row
+/// slots the caller pre-sized. Returns the first non-OK status in row
+/// order. `num_threads` follows the engine convention (0 = hardware
 /// concurrency) and is further clamped by the calling thread's
 /// parallelism budget.
 template <typename Body>
@@ -47,9 +102,11 @@ Status ParallelRows(size_t num_rows, size_t num_threads, const Body& body) {
                                   ThreadPool::ParallelismBudget());
   if (num_rows == 1 || workers <= 1) {
     // Serial row loop: nested engine calls keep the inherited budget, so
-    // the sample axis fans out instead of the row axis.
+    // the sample axis fans out instead of the row axis. Never-cancelled
+    // context: a serial loop stops at the first error by itself.
+    const RowBatchContext ctx;
     for (size_t row = 0; row < num_rows; ++row) {
-      PIP_RETURN_IF_ERROR(body(row));
+      PIP_RETURN_IF_ERROR(internal::InvokeRowBody(body, row, ctx));
     }
     return Status::OK();
   }
@@ -57,11 +114,14 @@ Status ParallelRows(size_t num_rows, size_t num_threads, const Body& body) {
   std::vector<Status> statuses(num_rows, Status::OK());
   // Earliest row known to have failed; rows strictly after it are
   // skipped (a serial loop would never have run them, and the caller
-  // discards every slot once an error surfaces).
+  // discards every slot once an error surfaces). The skip check here
+  // only covers rows not yet started — rows already inside `body` see
+  // the same flag live through their RowBatchContext.
   std::atomic<size_t> first_error{num_rows};
   ThreadPool::Shared().ParallelFor(num_rows, workers, [&](size_t row) {
     if (first_error.load(std::memory_order_relaxed) < row) return;
-    Status s = body(row);
+    Status s = internal::InvokeRowBody(body, row,
+                                       RowBatchContext(&first_error, row));
     if (!s.ok()) {
       statuses[row] = std::move(s);
       size_t cur = first_error.load(std::memory_order_relaxed);

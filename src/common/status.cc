@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

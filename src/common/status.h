@@ -29,6 +29,9 @@ enum class StatusCode {
   kInconsistent,      ///< A c-table condition is unsatisfiable (NAN result).
   kTypeMismatch,      ///< Value/schema type error.
   kParseError,        ///< Statement text could not be parsed (SQL layer).
+  kCancelled,         ///< Work abandoned cooperatively (its output would
+                      ///< be discarded anyway, e.g. a batch row after an
+                      ///< earlier row's failure).
 };
 
 /// Human-readable name of a status code.
@@ -71,6 +74,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

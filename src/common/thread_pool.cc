@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 
 namespace pip {
@@ -8,12 +9,48 @@ namespace pip {
 namespace {
 
 /// The calling thread's parallelism budget (see header). SIZE_MAX means
-/// "outside any parallel region": unlimited. Pool tasks and ParallelFor
-/// chunk bodies run under a budget of 1 via BudgetScope, which is what
-/// makes nested parallel regions degrade to inline execution.
+/// "outside any parallel region": unlimited. ParallelFor installs each
+/// region's fractional share on every executor; bare Submit() tasks run
+/// under a budget of 1.
 thread_local size_t t_parallelism_budget = SIZE_MAX;
 
+/// Which pool owns this thread (nullptr for external threads) and the
+/// worker index within it. Lets a joining worker drain its own deque
+/// front before stealing. Pool-qualified because private pools exist in
+/// tests: a private pool's worker touching the shared pool must scan as
+/// an external thread, not index the wrong worker array.
+thread_local const void* t_worker_pool = nullptr;
+thread_local size_t t_worker_index = SIZE_MAX;
+
+/// Internal RAII that sets the budget exactly instead of shrinking it.
+/// A ParallelFor helper task enters execution at the pool-task baseline
+/// of 1 (RunOneTask), but its chunk bodies are owed the region's
+/// fractional share — which may be larger than 1, so the public
+/// shrink-only BudgetScope cannot express the handoff. The share is
+/// still ≤ the budget of the region's caller, so the shrink-only
+/// invariant holds end to end.
+class ExactBudgetScope {
+ public:
+  explicit ExactBudgetScope(size_t budget) : saved_(t_parallelism_budget) {
+    t_parallelism_budget = budget;
+  }
+  ~ExactBudgetScope() { t_parallelism_budget = saved_; }
+
+  ExactBudgetScope(const ExactBudgetScope&) = delete;
+  ExactBudgetScope& operator=(const ExactBudgetScope&) = delete;
+
+ private:
+  size_t saved_;
+};
+
 }  // namespace
+
+struct ThreadPool::RegionState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> outstanding{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
 
 size_t ThreadPool::ParallelismBudget() { return t_parallelism_budget; }
 
@@ -53,7 +90,7 @@ void ThreadPool::Submit(std::function<void()> task) {
              workers_.size();
   {
     // The increment shares the queue's critical section with the push
-    // (and the decrements in TryRunOne share the pop's), so pending_
+    // (and the decrements in RunOneTask share the pop's), so pending_
     // can never under-count and wrap — a wrap would leave idle workers
     // busy-spinning on a phantom task count.
     std::lock_guard<std::mutex> lock(workers_[w]->mu);
@@ -70,10 +107,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   idle_cv_.notify_one();
 }
 
-bool ThreadPool::TryRunOne(size_t self) {
+bool ThreadPool::RunOneTask(bool as_joiner) {
+  const size_t self = (t_worker_pool == this) ? t_worker_index : SIZE_MAX;
   std::function<void()> task;
-  // Own queue first (front), then steal from the others' backs.
-  {
+  bool stolen = false;
+  // Own queue first (front) when this thread is a pool worker, then take
+  // from the other queues' backs. A joining external thread has no own
+  // queue, so every task it runs counts as a steal.
+  if (self != SIZE_MAX) {
     std::lock_guard<std::mutex> lock(workers_[self]->mu);
     if (!workers_[self]->queue.empty()) {
       task = std::move(workers_[self]->queue.front());
@@ -82,21 +123,28 @@ bool ThreadPool::TryRunOne(size_t self) {
     }
   }
   if (!task) {
-    for (size_t off = 1; off < workers_.size() && !task; ++off) {
-      size_t victim = (self + off) % workers_.size();
+    const size_t n = workers_.size();
+    for (size_t off = 0; off < n && !task; ++off) {
+      const size_t victim = (self == SIZE_MAX) ? off : (self + 1 + off) % n;
+      if (victim == self) continue;
       std::lock_guard<std::mutex> lock(workers_[victim]->mu);
       if (!workers_[victim]->queue.empty()) {
         task = std::move(workers_[victim]->queue.back());
         workers_[victim]->queue.pop_back();
         pending_.fetch_sub(1, std::memory_order_relaxed);
+        stolen = true;
       }
     }
   }
   if (!task) return false;
+  (as_joiner ? counters_.joiner_tasks : counters_.worker_tasks)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (stolen) counters_.steals.fetch_add(1, std::memory_order_relaxed);
   {
-    // Any pool task runs with a budget of 1: a task that tries to start
-    // a parallel region of its own would block a worker on tasks no free
-    // worker may ever pick up.
+    // Pool-task baseline budget of 1: a bare Submit() task that starts a
+    // parallel region of its own must not assume pool width it was never
+    // granted. ParallelFor helper tasks override this from inside with
+    // the fractional share their region computed (ExactBudgetScope).
     BudgetScope nested(1);
     task();
   }
@@ -104,13 +152,43 @@ bool ThreadPool::TryRunOne(size_t self) {
 }
 
 void ThreadPool::WorkerLoop(size_t index) {
+  t_worker_pool = this;
+  t_worker_index = index;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (TryRunOne(index)) continue;
+    if (RunOneTask(/*as_joiner=*/false)) continue;
     std::unique_lock<std::mutex> lock(idle_mu_);
     idle_cv_.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_relaxed) > 0;
     });
+  }
+}
+
+void ThreadPool::JoinRegion(RegionState& state) {
+  while (state.outstanding.load(std::memory_order_acquire) != 0) {
+    // Join-stealing: run any pending pool task instead of blocking. The
+    // joiner's own region's chunks drain first by construction — its
+    // drain call below ParallelFor already emptied the shared chunk
+    // counter before we got here — so what remains runnable is other
+    // regions' work, which is exactly what keeps nested fan-out
+    // deadlock-free: a queued task can always find an executor while any
+    // thread is joining.
+    if (RunOneTask(/*as_joiner=*/true)) continue;
+    // Every queue is empty: the region's remaining helpers are executing
+    // on other threads. Wait timed, not open-ended — a task Submitted
+    // after the scan above is announced on idle_cv_ (to workers), not on
+    // this region's done_cv, so the joiner re-scans periodically.
+    const auto wait_start = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      if (state.outstanding.load(std::memory_order_acquire) == 0) break;
+      counters_.join_waits.fetch_add(1, std::memory_order_relaxed);
+      state.done_cv.wait_for(lock, std::chrono::microseconds(200));
+    }
+    const auto waited = std::chrono::steady_clock::now() - wait_start;
+    counters_.join_wait_micros.fetch_add(
+        std::chrono::duration_cast<std::chrono::microseconds>(waited).count(),
+        std::memory_order_relaxed);
   }
 }
 
@@ -133,21 +211,29 @@ void ThreadPool::ParallelFor(size_t num_chunks, size_t max_workers,
     // Degraded (serial) loops are not parallel regions: the body keeps
     // the inherited budget, so e.g. a one-row Analyze batch still fans
     // its per-row sample sharding across the pool.
+    counters_.inline_regions.fetch_add(1, std::memory_order_relaxed);
     for (size_t i = 0; i < num_chunks; ++i) fn(i);
     return;
   }
+  counters_.regions.fetch_add(1, std::memory_order_relaxed);
 
-  struct SharedState {
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> outstanding{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-  };
-  auto state = std::make_shared<SharedState>();
-  auto drain = [state, &fn, num_chunks] {
-    // Chunk bodies hold a budget of 1 on every executor — including the
-    // calling thread below — so nested parallel regions run inline.
-    BudgetScope nested(1);
+  // Fractional budget split: R executors share this region's budget, so
+  // each chunk body gets max(1, budget / R) executors of its own. With
+  // more budget than chunks the leftover width flows to the bodies (2
+  // rows on budget 8 -> each row body runs its sample axis at budget 4).
+  const size_t executors = std::min(max_workers, num_chunks);
+  const size_t body_budget = std::max<size_t>(1, max_workers / executors);
+  // A region launched from inside another region (finite caller budget)
+  // is "nested"; its helper tasks are the ones that prove both axes
+  // share the pool, so their executions are counted separately.
+  const bool nested_region = t_parallelism_budget != SIZE_MAX;
+
+  auto state = std::make_shared<RegionState>();
+  auto drain = [state, &fn, num_chunks, body_budget] {
+    // Every executor's chunk bodies run at the region's fractional
+    // share. Set exactly (not min): helper tasks arrive here from
+    // RunOneTask's pool-task baseline of 1.
+    ExactBudgetScope scope(body_budget);
     for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
          i < num_chunks;
          i = state->next.fetch_add(1, std::memory_order_relaxed)) {
@@ -155,12 +241,16 @@ void ThreadPool::ParallelFor(size_t num_chunks, size_t max_workers,
     }
   };
 
-  size_t helpers = std::min(max_workers, num_chunks) - 1;
+  const size_t helpers = executors - 1;
   state->outstanding.store(helpers, std::memory_order_relaxed);
   for (size_t h = 0; h < helpers; ++h) {
     // Helpers capture only the shared state and the chunk closure; the
-    // caller outlives them because it blocks on `outstanding` below.
-    Submit([state, drain] {
+    // caller outlives them because JoinRegion does not return until
+    // `outstanding` hits zero.
+    Submit([this, state, drain, nested_region] {
+      if (nested_region) {
+        counters_.nested_tasks.fetch_add(1, std::memory_order_relaxed);
+      }
       drain();
       if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -170,16 +260,37 @@ void ThreadPool::ParallelFor(size_t num_chunks, size_t max_workers,
   }
 
   drain();  // Caller-runs: progress even when the pool is saturated.
-
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&state] {
-    return state->outstanding.load(std::memory_order_acquire) == 0;
-  });
+  JoinRegion(*state);
 }
 
 void ThreadPool::For(size_t num_chunks, size_t num_threads,
                      const std::function<void(size_t)>& fn) {
   Shared().ParallelFor(num_chunks, ResolveThreads(num_threads), fn);
+}
+
+ThreadPool::SchedulerStats ThreadPool::scheduler_stats() const {
+  SchedulerStats s;
+  s.regions = counters_.regions.load(std::memory_order_relaxed);
+  s.inline_regions = counters_.inline_regions.load(std::memory_order_relaxed);
+  s.worker_tasks = counters_.worker_tasks.load(std::memory_order_relaxed);
+  s.joiner_tasks = counters_.joiner_tasks.load(std::memory_order_relaxed);
+  s.nested_tasks = counters_.nested_tasks.load(std::memory_order_relaxed);
+  s.steals = counters_.steals.load(std::memory_order_relaxed);
+  s.join_waits = counters_.join_waits.load(std::memory_order_relaxed);
+  s.join_wait_micros =
+      counters_.join_wait_micros.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::ResetStats() {
+  counters_.regions.store(0, std::memory_order_relaxed);
+  counters_.inline_regions.store(0, std::memory_order_relaxed);
+  counters_.worker_tasks.store(0, std::memory_order_relaxed);
+  counters_.joiner_tasks.store(0, std::memory_order_relaxed);
+  counters_.nested_tasks.store(0, std::memory_order_relaxed);
+  counters_.steals.store(0, std::memory_order_relaxed);
+  counters_.join_waits.store(0, std::memory_order_relaxed);
+  counters_.join_wait_micros.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pip

@@ -1,7 +1,7 @@
 /// \file thread_pool.h
 /// \brief A small work-stealing thread pool, a deterministic
-/// parallel-for, and the nesting-aware parallelism budget used by the
-/// sampling engine.
+/// parallel-for with join-stealing, and the nesting-aware fractional
+/// parallelism budget used by the sampling engine.
 ///
 /// Determinism contract (see README "Threading model"): parallel callers
 /// never let scheduling decide *what* is computed — only *when*. Work is
@@ -11,17 +11,30 @@
 /// irrelevant to the result, so `num_threads` is a throughput knob, not a
 /// semantics knob.
 ///
-/// Nesting policy: parallel regions nest (a row-parallel Analyze batch
-/// dispatches per-row Expectation calls that shard their own sample
-/// space), but only the outermost region may fan out. Each thread
-/// carries an explicit parallelism budget (ParallelismBudget()); a
-/// ParallelFor clamps its worker count to that budget and executes every
-/// chunk body under a budget of 1, so nested ParallelFor calls — on pool
-/// workers *and* on the participating caller thread — degrade to inline
-/// serial execution instead of deadlocking on a saturated pool or
-/// oversubscribing the cores. Inline degradation is semantics-free by
-/// the determinism contract, so the budget, like num_threads, is a
-/// throughput knob only.
+/// Nesting policy (fractional budget splits): parallel regions nest (a
+/// row-parallel Analyze batch dispatches per-row Expectation calls that
+/// shard their own sample space), and the pool is shared across both
+/// axes. Each thread carries an explicit parallelism budget
+/// (ParallelismBudget()); a ParallelFor clamps its worker count to that
+/// budget and *divides* it among the chunk bodies: a region using R
+/// executors hands each body max(1, budget / R) executors of its own. A
+/// 2-row batch on an 8-thread budget therefore runs each row body at
+/// budget 4, and the nested sample regions fan out instead of degrading
+/// inline — rows × samples saturate the pool at any batch shape. Bodies
+/// of degraded (single-chunk or budget-1) loops keep the inherited
+/// budget unchanged: a degraded loop is not a parallel region.
+///
+/// Join-stealing: a thread waiting in ParallelFor for its region's
+/// helpers does not block — it drains pending pool tasks (its own
+/// worker's queue first, then steals from the others) until the region
+/// completes. Every queued task therefore gets executed as long as any
+/// thread is waiting on any region, which makes nested fan-out
+/// deadlock-free by construction: the pool can never wedge with all
+/// threads blocked in joins while the tasks they await sit queued.
+///
+/// Both mechanisms are semantics-free by the determinism contract: the
+/// budget only ever changes how *wide* a region runs, never which chunks
+/// fold into the result.
 
 #ifndef PIP_COMMON_THREAD_POOL_H_
 #define PIP_COMMON_THREAD_POOL_H_
@@ -29,6 +42,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -48,6 +62,26 @@ namespace pip {
 /// instead of paying thread start-up per query.
 class ThreadPool {
  public:
+  /// Snapshot of the per-pool scheduler counters (monotonic totals since
+  /// pool construction or the last ResetStats()). Observability only:
+  /// the counters never feed back into scheduling decisions.
+  struct SchedulerStats {
+    uint64_t regions = 0;         ///< ParallelFor calls that fanned out.
+    uint64_t inline_regions = 0;  ///< ParallelFor calls degraded inline.
+    uint64_t worker_tasks = 0;    ///< Tasks executed by the worker loop.
+    uint64_t joiner_tasks = 0;    ///< Tasks executed by threads waiting
+                                  ///< in a ParallelFor join.
+    uint64_t nested_tasks = 0;    ///< Executed helper tasks belonging to
+                                  ///< nested regions (caller budget was
+                                  ///< finite at launch).
+    uint64_t steals = 0;          ///< Tasks taken from another worker's
+                                  ///< deque (or any deque, for threads
+                                  ///< without one).
+    uint64_t join_waits = 0;      ///< Timed waits in joins after finding
+                                  ///< no runnable task anywhere.
+    uint64_t join_wait_micros = 0;  ///< Total time spent in those waits.
+  };
+
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -70,13 +104,17 @@ class ThreadPool {
   /// The calling thread's parallelism budget: the number of concurrent
   /// executors a parallel region started here may use. Threads outside
   /// any parallel region hold an unlimited budget; inside a ParallelFor
-  /// chunk body (or any pool task) the budget is 1, so nested parallel
-  /// regions run inline.
+  /// chunk body the budget is the region's fractional share
+  /// (max(1, region budget / executors)); inside a bare Submit() task it
+  /// is 1.
   static size_t ParallelismBudget();
 
   /// RAII token that caps the calling thread's parallelism budget for a
   /// scope. The cap only ever shrinks (`min` with the inherited budget):
   /// a nested scope cannot re-expand what an outer region reserved.
+  /// (ParallelFor internally installs the fractional share it computed
+  /// for its bodies — that share is itself ≤ the region's budget, so the
+  /// shrink-only invariant holds across the pool handoff too.)
   class BudgetScope {
    public:
     explicit BudgetScope(size_t budget);
@@ -97,13 +135,18 @@ class ThreadPool {
   /// others (write to disjoint slots, fold afterwards).
   ///
   /// Reentrancy: `max_workers` is clamped to the calling thread's
-  /// ParallelismBudget(), and chunk bodies run under a budget of 1, so a
-  /// nested ParallelFor degrades to inline serial execution — this keeps
-  /// the pool deadlock-free without a dependency-aware scheduler while
-  /// letting the outermost region own the fan-out decision. A loop that
-  /// degrades for lack of budget does NOT reduce its callees' budget
-  /// further (it is not a parallel region), so e.g. a single-chunk
-  /// region leaves the whole budget to its body.
+  /// ParallelismBudget(), and the region divides that budget among its
+  /// chunk bodies — with R = min(max_workers, num_chunks) executors,
+  /// every body (on pool workers and the participating caller alike)
+  /// runs at budget max(1, max_workers / R), so nested ParallelFor
+  /// calls fan out across the leftover width instead of always
+  /// degrading inline. While the region's helpers are outstanding the
+  /// caller join-steals: it executes pending pool tasks (its own
+  /// region's chunks drain first via the shared chunk counter) rather
+  /// than blocking, which keeps nested fan-out deadlock-free. A loop
+  /// that degrades for lack of budget or chunks does NOT reduce its
+  /// callees' budget (it is not a parallel region), so e.g. a
+  /// single-chunk region leaves the whole budget to its body.
   void ParallelFor(size_t num_chunks, size_t max_workers,
                    const std::function<void(size_t)>& fn);
 
@@ -112,14 +155,41 @@ class ThreadPool {
   static void For(size_t num_chunks, size_t num_threads,
                   const std::function<void(size_t)>& fn);
 
+  /// Reads the scheduler counters. Individual counters are read with
+  /// relaxed atomics: totals are exact once the pool is quiescent,
+  /// momentarily approximate while tasks are in flight.
+  SchedulerStats scheduler_stats() const;
+
+  /// Zeroes the scheduler counters (benches take deltas; tests isolate).
+  void ResetStats();
+
  private:
   struct Worker {
     std::mutex mu;
     std::deque<std::function<void()>> queue;
   };
+  struct Counters {
+    std::atomic<uint64_t> regions{0};
+    std::atomic<uint64_t> inline_regions{0};
+    std::atomic<uint64_t> worker_tasks{0};
+    std::atomic<uint64_t> joiner_tasks{0};
+    std::atomic<uint64_t> nested_tasks{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> join_waits{0};
+    std::atomic<uint64_t> join_wait_micros{0};
+  };
+  struct RegionState;
 
   void WorkerLoop(size_t index);
-  bool TryRunOne(size_t self);
+  /// Pops and runs one pending task: the calling worker's own queue
+  /// front first (if the caller is a pool worker), then the other
+  /// queues' backs. `as_joiner` selects which executed-task counter the
+  /// run is charged to. Returns false if every queue was empty.
+  bool RunOneTask(bool as_joiner);
+  /// Join-stealing wait: runs pending tasks until the region's helper
+  /// count reaches zero, falling back to a short timed wait only when
+  /// every queue is empty.
+  void JoinRegion(RegionState& state);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -129,6 +199,7 @@ class ThreadPool {
   /// Tasks submitted but not yet picked up; guards the idle wait.
   std::atomic<size_t> pending_{0};
   std::atomic<bool> stop_{false};
+  Counters counters_;
 };
 
 /// Number of chunks of size `chunk` covering `n` items (0 for n == 0).

@@ -242,13 +242,14 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
   Table out((Schema(out_columns)));
   // Row-parallel batch (the paper's headline Analyze workload): rows are
   // independent, so the row dimension is the outer parallel axis — each
-  // row's engine calls run under a parallelism budget of 1 (their sample
-  // sharding degrades to inline execution) and the shape-keyed PlanCache
-  // is the cross-thread amortization point: rows sharing a condition
-  // shape pay planning once, whichever worker plans first. Per-row
-  // results land in pre-sized slots and emitted rows fold in row order
-  // below, so the output table is byte-identical to a serial row loop at
-  // every num_threads.
+  // row's engine calls run under the region's fractional budget share
+  // (with fewer rows than threads their sample sharding fans out across
+  // the leftover width) and the shape-keyed PlanCache is the
+  // cross-thread amortization point: rows sharing a condition shape pay
+  // planning once, whichever worker plans first. Per-row results land in
+  // pre-sized slots and emitted rows fold in row order below, so the
+  // output table is byte-identical to a serial row loop at every
+  // num_threads.
   const auto& rows = table.rows();
   struct RowSlot {
     Row cells;
@@ -256,9 +257,14 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
   };
   std::vector<RowSlot> slots(rows.size());
   PIP_RETURN_IF_ERROR(ParallelRows(
-      rows.size(), engine.options().num_threads, [&](size_t r) -> Status {
+      rows.size(), engine.options().num_threads,
+      [&](size_t r, const RowBatchContext& ctx) -> Status {
         const auto& row = rows[r];
         RowSlot& slot = slots[r];
+        // Long row bodies bail at the next chunk barrier once an earlier
+        // row has failed (this row's slot is discarded either way).
+        const SamplingEngine row_engine =
+            engine.WithCancelCheck([ctx] { return ctx.Cancelled(); });
         // Catalogue provenance routes the engine calls through the
         // materialized expectation index: hits replay the exact cached
         // result, misses run the engine and backfill. Rows without
@@ -277,7 +283,7 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
         for (size_t i = 0; i < exp_idx.size(); ++i) {
           PIP_ASSIGN_OR_RETURN(
               ExpectationResult res,
-              IndexedExpectation(engine, prov, row.cells[exp_idx[i]],
+              IndexedExpectation(row_engine, prov, row.cells[exp_idx[i]],
                                  row.condition,
                                  spec.with_confidence && i == 0));
           if (std::isnan(res.expectation) && res.probability == 0.0) {
@@ -291,7 +297,7 @@ StatusOr<Table> Analyze(const CTable& table, const SamplingEngine& engine,
           if (exp_idx.empty()) {
             PIP_ASSIGN_OR_RETURN(
                 ExpectationResult res,
-                IndexedConfidence(engine, prov, row.condition));
+                IndexedConfidence(row_engine, prov, row.condition));
             if (res.probability <= 0.0) {
               slot.emit = false;
               return Status::OK();
@@ -364,7 +370,8 @@ StatusOr<Table> AnalyzeJointConfidence(const CTable& table,
   // order, so the output matches the serial loop byte for byte.
   std::vector<double> probs(groups.size(), 0.0);
   PIP_RETURN_IF_ERROR(ParallelRows(
-      groups.size(), engine.options().num_threads, [&](size_t g) -> Status {
+      groups.size(), engine.options().num_threads,
+      [&](size_t g, const RowBatchContext& ctx) -> Status {
         for (const auto& cell : groups[g].exemplar->cells) {
           if (!cell->IsConstant()) {
             return Status::InvalidArgument(
@@ -374,9 +381,11 @@ StatusOr<Table> AnalyzeJointConfidence(const CTable& table,
         }
         RowProvenance prov{table.table_id(), table.generation(),
                            groups[g].exemplar->row_id};
+        const SamplingEngine group_engine =
+            engine.WithCancelCheck([ctx] { return ctx.Cancelled(); });
         PIP_ASSIGN_OR_RETURN(
             probs[g],
-            IndexedJointConfidence(engine, prov, groups[g].disjuncts));
+            IndexedJointConfidence(group_engine, prov, groups[g].disjuncts));
         return Status::OK();
       }));
   for (size_t g = 0; g < groups.size(); ++g) {

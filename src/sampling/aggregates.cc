@@ -43,10 +43,12 @@ StatusOr<double> AggregateEvaluator::ExpectedSum(
   std::vector<double> terms(rows.size(), 0.0);
   PIP_RETURN_IF_ERROR(ParallelRows(
       rows.size(), row_engine.options().num_threads,
-      [&](size_t r) -> Status {
+      [&](size_t r, const RowBatchContext& ctx) -> Status {
+        const SamplingEngine cancel_engine =
+            row_engine.WithCancelCheck([ctx] { return ctx.Cancelled(); });
         PIP_ASSIGN_OR_RETURN(
             ExpectationResult res,
-            IndexedExpectation(row_engine, ProvenanceOf(table, r),
+            IndexedExpectation(cancel_engine, ProvenanceOf(table, r),
                                rows[r].cells[col], rows[r].condition,
                                /*compute_probability=*/true));
         if (!std::isnan(res.expectation) && res.probability > 0.0) {
@@ -67,10 +69,12 @@ StatusOr<double> AggregateEvaluator::ExpectedCount(const CTable& table) const {
   std::vector<double> probs(rows.size(), 0.0);
   PIP_RETURN_IF_ERROR(ParallelRows(
       rows.size(), row_engine.options().num_threads,
-      [&](size_t r) -> Status {
+      [&](size_t r, const RowBatchContext& ctx) -> Status {
+        const SamplingEngine cancel_engine =
+            row_engine.WithCancelCheck([ctx] { return ctx.Cancelled(); });
         PIP_ASSIGN_OR_RETURN(
             ExpectationResult res,
-            IndexedConfidence(row_engine, ProvenanceOf(table, r),
+            IndexedConfidence(cancel_engine, ProvenanceOf(table, r),
                               rows[r].condition));
         probs[r] = res.probability;
         return Status::OK();
@@ -96,10 +100,12 @@ StatusOr<double> AggregateEvaluator::ExpectedAvg(
   std::vector<RowTerm> terms(rows.size());
   PIP_RETURN_IF_ERROR(ParallelRows(
       rows.size(), row_engine.options().num_threads,
-      [&](size_t r) -> Status {
+      [&](size_t r, const RowBatchContext& ctx) -> Status {
+        const SamplingEngine cancel_engine =
+            row_engine.WithCancelCheck([ctx] { return ctx.Cancelled(); });
         PIP_ASSIGN_OR_RETURN(
             ExpectationResult res,
-            IndexedExpectation(row_engine, ProvenanceOf(table, r),
+            IndexedExpectation(cancel_engine, ProvenanceOf(table, r),
                                rows[r].cells[col], rows[r].condition,
                                /*compute_probability=*/true));
         // Unsatisfiable (or collapsed) rows contribute to neither sum
@@ -266,6 +272,14 @@ StatusOr<std::vector<double>> AggregateEvaluator::SampleWorlds(
   std::vector<Status> chunk_status(NumChunks(n, chunk), Status::OK());
   ThreadPool::For(
       NumChunks(n, chunk), engine_->options().num_threads, [&](size_t c) {
+        // Chunk barrier: cooperative cancellation poll (see
+        // SamplingOptions::cancel_check) — world chunks after an earlier
+        // batch row's failure stop instantiating worlds nobody reads.
+        const auto& cancel = engine_->options().cancel_check;
+        if (cancel && cancel()) {
+          chunk_status[c] = Status::Cancelled("world sampling");
+          return;
+        }
         std::vector<double> joint;
         Assignment world;
         std::vector<double> values;
@@ -333,32 +347,41 @@ StatusOr<Table> GroupedAggregate(const AggregateEvaluator& evaluator,
   Table out((Schema(out_columns)));
   // Groups are independent per-table aggregations, so they fan out as
   // the outer parallel axis; the per-group evaluators' own row loops
-  // then run serially under the nested parallelism budget. Values land
-  // in per-group slots and emit in group order: identical to the serial
-  // loop.
+  // run under the region's fractional budget share (with fewer groups
+  // than threads the inner rows/samples fan out across the leftover
+  // width). Values land in per-group slots and emit in group order:
+  // identical to the serial loop.
   std::vector<double> values(groups.size(), 0.0);
   PIP_RETURN_IF_ERROR(ParallelRows(
       groups.size(), evaluator.engine().options().num_threads,
-      [&](size_t g) -> Status {
+      [&](size_t g, const RowBatchContext& ctx) -> Status {
+        const SamplingEngine group_engine =
+            evaluator.engine().WithCancelCheck(
+                [ctx] { return ctx.Cancelled(); });
+        const AggregateEvaluator group_eval(&group_engine,
+                                            evaluator.options());
         switch (aggregate) {
           case GroupAggregate::kExpectedSum: {
             PIP_ASSIGN_OR_RETURN(
-                values[g], evaluator.ExpectedSum(groups[g].rows, value_column));
+                values[g],
+                group_eval.ExpectedSum(groups[g].rows, value_column));
             break;
           }
           case GroupAggregate::kExpectedCount: {
             PIP_ASSIGN_OR_RETURN(values[g],
-                                 evaluator.ExpectedCount(groups[g].rows));
+                                 group_eval.ExpectedCount(groups[g].rows));
             break;
           }
           case GroupAggregate::kExpectedAvg: {
             PIP_ASSIGN_OR_RETURN(
-                values[g], evaluator.ExpectedAvg(groups[g].rows, value_column));
+                values[g],
+                group_eval.ExpectedAvg(groups[g].rows, value_column));
             break;
           }
           case GroupAggregate::kExpectedMax: {
             PIP_ASSIGN_OR_RETURN(
-                values[g], evaluator.ExpectedMax(groups[g].rows, value_column));
+                values[g],
+                group_eval.ExpectedMax(groups[g].rows, value_column));
             break;
           }
         }

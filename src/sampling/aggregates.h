@@ -40,6 +40,7 @@ class AggregateEvaluator {
       : engine_(engine), options_(options) {}
 
   const SamplingEngine& engine() const { return *engine_; }
+  const AggregateOptions& options() const { return options_; }
 
   /// expected_sum(column): sum of per-row conditional expectations
   /// weighted by row confidence. Rows evaluate in parallel (outer axis)

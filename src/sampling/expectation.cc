@@ -1026,6 +1026,12 @@ StatusOr<double> SamplingEngine::EstimateGroupProbability(
         run_chunk(begin, end, out);
       },
       [&](size_t, HitChunk& o) {
+        // Chunk-fold barrier: cooperative cancellation poll (the result
+        // is discarded by the caller that requested the cancel).
+        if (options_.cancel_check && options_.cancel_check()) {
+          chunk_error = Status::Cancelled("group probability estimate");
+          return false;
+        }
         if (!o.status.ok()) {
           chunk_error = o.status;
           return false;
@@ -1256,6 +1262,13 @@ StatusOr<ExpectationResult> SamplingEngine::Expectation(
                                 pilot.attempts);
         },
         [&](size_t, ChunkOutcome& o, bool cloned) {
+          // Chunk-fold barrier: cooperative cancellation poll. The
+          // caller requesting the cancel discards this row's output, so
+          // abandoning mid-schedule cannot change any kept bits.
+          if (options_.cancel_check && options_.cancel_check()) {
+            chunk_error = Status::Cancelled("expectation");
+            return false;
+          }
           if (!o.status.ok()) {
             chunk_error = o.status;
             return false;
@@ -1459,6 +1472,12 @@ StatusOr<double> SamplingEngine::JointConfidence(
         run_chunk(begin, end, out);
       },
       [&](size_t, HitChunk& o) {
+        // Chunk-fold barrier: cooperative cancellation poll (see
+        // SamplingOptions::cancel_check).
+        if (options_.cancel_check && options_.cancel_check()) {
+          chunk_error = Status::Cancelled("joint confidence");
+          return false;
+        }
         if (!o.status.ok()) {
           chunk_error = o.status;
           return false;
@@ -1594,6 +1613,12 @@ StatusOr<std::vector<double>> SamplingEngine::SampleConditional(
         return std::make_pair(pilot.produced, pilot.attempts);
       },
       [&](size_t c, CondChunk& o, bool) {
+        // Chunk-fold barrier: cooperative cancellation poll (see
+        // SamplingOptions::cancel_check).
+        if (options_.cancel_check && options_.cancel_check()) {
+          chunk_error = Status::Cancelled("conditional sampling");
+          return false;
+        }
         if (!o.status.ok()) {
           chunk_error = o.status;
           return false;

@@ -21,6 +21,7 @@
 #define PIP_SAMPLING_EXPECTATION_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -116,6 +117,17 @@ struct SamplingOptions {
   /// the database-wide index whenever an engine is created, so the
   /// last-configured session wins; see README "Expectation index".
   size_t index_memory_budget = ExpectationIndex::kDefaultMemoryBudget;
+
+  /// Cooperative cancellation hook. When set, the Monte Carlo loops poll
+  /// it at chunk-fold barriers and abandon the call with
+  /// Status::Cancelled once it returns true. Used by ParallelRows
+  /// batches (via SamplingEngine::WithCancelCheck) so a long row body
+  /// dispatched just before an earlier row failed stops early instead of
+  /// sampling to completion; the cancelled row's output is discarded by
+  /// the row-order error protocol, so cancellation never changes what a
+  /// caller observes. Like num_threads, excluded from the options
+  /// fingerprint (shape_key.cc): it cannot affect kept bits.
+  std::function<bool()> cancel_check;
 };
 
 /// \brief Result of an expectation (or confidence) computation.
@@ -167,6 +179,26 @@ class SamplingEngine {
     SamplingEngine copy(pool_, std::move(options), plan_cache_);
     copy.result_index_ = result_index_;
     return copy;
+  }
+
+  /// Copy of this engine whose sampling loops poll `cancel` at chunk-fold
+  /// barriers and return Status::Cancelled once it reports true (see
+  /// SamplingOptions::cancel_check). Row-parallel batch drivers hand
+  /// each row body one of these wired to its RowBatchContext so long
+  /// rows bail early after an earlier row's failure. Checks compose: a
+  /// nested batch (grouped aggregate -> per-row loop) ORs its hook with
+  /// the inherited one, so an outer cancellation reaches the innermost
+  /// sampling loops too.
+  SamplingEngine WithCancelCheck(std::function<bool()> cancel) const {
+    SamplingOptions opts = options_;
+    if (opts.cancel_check) {
+      auto outer = std::move(opts.cancel_check);
+      auto inner = std::move(cancel);
+      opts.cancel_check = [outer, inner] { return outer() || inner(); };
+    } else {
+      opts.cancel_check = std::move(cancel);
+    }
+    return WithOptions(std::move(opts));
   }
 
   /// The shared materialized-result index, or nullptr when none is

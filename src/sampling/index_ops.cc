@@ -164,15 +164,21 @@ Status EagerBuildIndex(const CTable& table, const SamplingEngine& engine) {
   ExpectationIndex* index = engine.result_index();
   const auto& rows = table.rows();
   return ParallelRows(
-      rows.size(), engine.options().num_threads, [&](size_t r) -> Status {
+      rows.size(), engine.options().num_threads,
+      [&](size_t r, const RowBatchContext& ctx) -> Status {
         const CTableRow& row = rows[r];
         RowProvenance prov = ProvenanceOf(table, r);
         if (!prov.valid()) return Status::OK();
+        // Cancel-wired engine: index keys exclude cancel_check (like
+        // num_threads), so entries built here stay byte-identical to
+        // lazily backfilled ones.
+        const SamplingEngine row_engine =
+            engine.WithCancelCheck([ctx] { return ctx.Cancelled(); });
         bool row_probabilistic = !row.condition.IsDeterministic();
         // The row confidence serves conf() targets and expected_count.
         if (row_probabilistic) {
           PIP_RETURN_IF_ERROR(
-              IndexedConfidence(engine, prov, row.condition).status());
+              IndexedConfidence(row_engine, prov, row.condition).status());
         }
         // Cell expectations, mirroring Analyze's call pattern: the first
         // probabilistic cell also carries P[condition].
@@ -181,7 +187,7 @@ Status EagerBuildIndex(const CTable& table, const SamplingEngine& engine) {
           if (cell->IsDeterministic() && !row_probabilistic) continue;
           if (cell->IsDeterministic() && !first) continue;
           PIP_RETURN_IF_ERROR(
-              IndexedExpectation(engine, prov, cell, row.condition, first)
+              IndexedExpectation(row_engine, prov, cell, row.condition, first)
                   .status());
           if (first && !cell->IsDeterministic()) {
             // Attach the moment/quantile/CDF summary to the first
@@ -189,8 +195,8 @@ Status EagerBuildIndex(const CTable& table, const SamplingEngine& engine) {
             // sample sweep of the conditional distribution.
             PIP_ASSIGN_OR_RETURN(
                 std::vector<double> samples,
-                engine.SampleConditional(cell, row.condition,
-                                         kSummarySamples));
+                row_engine.SampleConditional(cell, row.condition,
+                                             kSummarySamples));
             std::string key =
                 ExactResultKey('P', cell, {&row.condition}, engine.pool(),
                                engine.options());

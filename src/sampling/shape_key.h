@@ -47,7 +47,10 @@ std::string PlanShapeKey(const Condition& condition, const VarSet& target_vars,
 /// value — bit-exact doubles, all strategy toggles, the sample-index
 /// offset. Deliberately excludes num_threads: results are bit-identical
 /// across thread counts (the engine's determinism contract), so an index
-/// entry backfilled at one thread count serves every other.
+/// entry backfilled at one thread count serves every other. Also
+/// excludes cancel_check for the same reason: cancellation only ever
+/// discards a result, never changes a kept one, so a cancel-wired
+/// engine's entries serve plain engines bit for bit.
 std::string SamplingOptionsFingerprint(const SamplingOptions& options);
 
 /// Exact result key for the expectation index. `op_tag` distinguishes

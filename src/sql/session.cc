@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/common/thread_pool.h"
 #include "src/sql/knobs.h"
 #include "src/sql/lexer.h"
 
@@ -411,6 +412,32 @@ class Parser {
       }
       return SqlResult::FromTable(std::move(table));
     }
+    if (Peek().Is("POOL")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      // Scheduler observability: the shared pool's cooperative-scheduling
+      // counters (join-stealing + fractional budget splits), so
+      // saturation is measurable over the wire, not assumed.
+      ThreadPool& pool = ThreadPool::Shared();
+      const ThreadPool::SchedulerStats stats = pool.scheduler_stats();
+      Table table(Schema({"metric", "value"}));
+      const std::pair<const char*, uint64_t> rows[] = {
+          {"threads", pool.num_threads()},
+          {"regions", stats.regions},
+          {"inline_regions", stats.inline_regions},
+          {"worker_tasks", stats.worker_tasks},
+          {"joiner_tasks", stats.joiner_tasks},
+          {"nested_tasks", stats.nested_tasks},
+          {"steals", stats.steals},
+          {"join_waits", stats.join_waits},
+          {"join_wait_micros", stats.join_wait_micros},
+      };
+      for (const auto& [metric, value] : rows) {
+        PIP_RETURN_IF_ERROR(table.Append(
+            {Value(std::string(metric)), Value(static_cast<double>(value))}));
+      }
+      return SqlResult::FromTable(std::move(table));
+    }
     if (Peek().Is("TABLES")) {
       Advance();
       PIP_RETURN_IF_ERROR(ExpectStatementEnd());
@@ -432,7 +459,8 @@ class Parser {
       }
       return SqlResult::FromTable(std::move(table));
     }
-    return Error("expected DISTRIBUTIONS, INDEX, KNOBS, TABLES or VARIABLES");
+    return Error(
+        "expected DISTRIBUTIONS, INDEX, KNOBS, POOL, TABLES or VARIABLES");
   }
 
   StatusOr<SqlResult> ParseCreate() {
@@ -769,6 +797,10 @@ WireErrorCode WireErrorCodeFor(const Status& status) {
     case StatusCode::kInconsistent:
       return WireErrorCode::kInvalidArg;
     case StatusCode::kInternal:
+    // Cancelled never reaches a client on its own — a cancelled batch
+    // row is shadowed by the earlier row's real error — so a surfaced
+    // one is an engine invariant violation.
+    case StatusCode::kCancelled:
       return WireErrorCode::kInternal;
   }
   return WireErrorCode::kInternal;

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <thread>
 
+#include "src/common/row_parallel.h"
 #include "src/common/running_stats.h"
 #include "src/common/special_math.h"
 #include "src/common/thread_pool.h"
@@ -536,6 +537,81 @@ TEST(ThreadPoolTest, DegradedLoopKeepsBudgetForItsBody) {
 }
 
 // ---------------------------------------------------------------------------
+// Fractional budget splits and join-stealing
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, FractionalSplitDividesBudgetAmongBodies) {
+  // A 2-chunk region on an 8-wide request uses 2 executors and hands each
+  // body max(1, 8 / 2) = 4 — the leftover width, so nested regions can
+  // still fan out instead of degrading inline.
+  std::vector<size_t> budgets(2, 0);
+  ThreadPool::For(2, 8,
+                  [&](size_t i) { budgets[i] = ThreadPool::ParallelismBudget(); });
+  EXPECT_EQ(budgets[0], 4u);
+  EXPECT_EQ(budgets[1], 4u);
+}
+
+TEST(ThreadPoolTest, NestedRegionsFanOutAndCountNestedTasks) {
+  // Private pool so the counters are isolated from other tests' use of
+  // Shared(). Outer 2-chunk region at width 8 → bodies run at budget 4 →
+  // each body's inner 4-chunk loop is a real region again (4 executors,
+  // 3 helper tasks). nested_tasks counts *executed* helpers of regions
+  // launched under a finite budget; every submitted helper runs (at
+  // worst as a no-op drain) before its region's join returns, so the
+  // total is exact once the outer loop returns.
+  ThreadPool pool(4);
+  std::atomic<size_t> leaves{0};
+  pool.ParallelFor(2, 8, [&](size_t) {
+    EXPECT_EQ(ThreadPool::ParallelismBudget(), 4u);
+    pool.ParallelFor(4, 8, [&](size_t) { ++leaves; });
+  });
+  EXPECT_EQ(leaves.load(), 8u);
+  const ThreadPool::SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_EQ(stats.regions, 3u);       // One outer + two nested.
+  EXPECT_EQ(stats.nested_tasks, 6u);  // 3 helpers per nested region.
+  EXPECT_EQ(stats.inline_regions, 0u);
+}
+
+TEST(ThreadPoolTest, JoinStealingCompletesRegionWithAllWorkersBlocked) {
+  // The pool's only worker is parked inside a long task, so the region's
+  // helper task can never run on a worker. The join must not block on it:
+  // the joining caller steals the queued helper and runs it itself,
+  // which is exactly the mechanism that makes nested fan-out
+  // deadlock-free.
+  ThreadPool pool(1);
+  std::atomic<bool> blocked{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    blocked = true;
+    while (!release) std::this_thread::yield();
+  });
+  while (!blocked) std::this_thread::yield();
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(4, 2, [&](size_t i) { ++hits[i]; });
+  release = true;
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const ThreadPool::SchedulerStats stats = pool.scheduler_stats();
+  EXPECT_GE(stats.joiner_tasks, 1u);
+  EXPECT_GE(stats.steals, 1u);
+}
+
+TEST(ThreadPoolTest, NestedSaturationIsDeadlockFree) {
+  // Three levels of nesting on a 3-worker pool: more live regions than
+  // workers, every thread repeatedly inside some join. Completing at all
+  // is the assertion — before join-stealing this shape could wedge with
+  // all threads waiting on queued tasks nobody was left to run.
+  ThreadPool pool(3);
+  std::atomic<size_t> leaves{0};
+  pool.ParallelFor(3, 16, [&](size_t) {
+    pool.ParallelFor(3, 16, [&](size_t) {
+      pool.ParallelFor(2, 16, [&](size_t) { ++leaves; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 18u);
+}
+
+// ---------------------------------------------------------------------------
 // Row-parallel batch evaluation (rows as the outer parallel axis)
 // ---------------------------------------------------------------------------
 
@@ -681,6 +757,150 @@ TEST_F(RowParallelTest, ProbabilisticPassthroughErrorMatchesSerial) {
   ASSERT_FALSE(serial.ok());
   EXPECT_EQ(parallel.code(), serial.code());
   EXPECT_EQ(parallel.message(), serial.message());
+}
+
+TEST_F(RowParallelTest, AnalyzeNestedShapesBitIdenticalToSerial) {
+  // The fractional-split scheduler's few-rows-many-threads shapes: with
+  // rows < threads each row body gets a multi-executor budget share and
+  // the sample axis fans out *inside* a row region. Every shape must
+  // still be byte-identical to the serial row loop.
+  for (int rows : {1, 2, 4}) {
+    CTable t = MakeBatch(rows);
+    AnalyzeSpec spec;
+    spec.expectation_columns = {"v"};
+    spec.with_confidence = true;
+    std::string serial;
+    for (size_t threads : {1, 3, 8}) {
+      SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+      Table out = Analyze(t, engine, spec).value();
+      if (threads == 1) {
+        serial = out.ToString();
+      } else {
+        EXPECT_EQ(out.ToString(), serial)
+            << "rows=" << rows << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(RowParallelTest, AconfBitIdenticalAtOddThreadCounts) {
+  // Odd thread counts make the fractional split uneven (budget / R
+  // truncates); the fold must stay byte-identical regardless.
+  CTable t(Schema({"tag"}));
+  for (int g = 0; g < 5; ++g) {
+    for (int d = 0; d < 2; ++d) {
+      VarRef x = db_.CreateVariable("Normal", {0.0, 1.0}).value();
+      Condition c(Expr::Var(x) >
+                  Expr::Constant(static_cast<double>(g) - 1.0 + 0.4 * d));
+      PIP_CHECK(t.Append({Expr::Constant(static_cast<double>(g))}, c).ok());
+    }
+  }
+  std::string serial;
+  for (size_t threads : {1, 3, 5}) {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+    Table out = AnalyzeJointConfidence(t, engine).value();
+    if (threads == 1) {
+      serial = out.ToString();
+    } else {
+      EXPECT_EQ(out.ToString(), serial) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(RowParallelTest, GroupedAggregateNestedShapesBitIdenticalToSerial) {
+  // Grouped aggregation nests three levels deep (groups → rows →
+  // samples); run it across the nested-shape grid, including group
+  // counts below the thread count.
+  for (int groups : {1, 2, 4}) {
+    CTable t(Schema({"g", "v"}));
+    for (int g = 0; g < groups; ++g) {
+      for (int d = 0; d < 2; ++d) {
+        VarRef x = db_.CreateVariable(
+                          "Normal", {static_cast<double>(g + d), 1.0})
+                       .value();
+        Condition c(Expr::Var(x) > Expr::Constant(static_cast<double>(g) - 1.0));
+        PIP_CHECK(t.Append({Expr::Constant(static_cast<double>(g)),
+                            Expr::Var(x)},
+                           c)
+                      .ok());
+      }
+    }
+    std::string serial;
+    for (size_t threads : {1, 3, 8}) {
+      SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+      AggregateEvaluator agg(&engine);
+      Table out = GroupedAggregate(agg, t, {"g"}, "v",
+                                   GroupAggregate::kExpectedSum)
+                      .value();
+      if (threads == 1) {
+        serial = out.ToString();
+      } else {
+        EXPECT_EQ(out.ToString(), serial)
+            << "groups=" << groups << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(RowParallelTest, AnalyzeBitIdenticalAtOddThreadCounts) {
+  CTable t = MakeBatch(7);
+  AnalyzeSpec spec;
+  spec.expectation_columns = {"v"};
+  spec.with_confidence = true;
+  std::string serial;
+  for (size_t threads : {1, 3, 5}) {
+    SamplingEngine engine = db_.MakeEngine(ThreadedOptions(threads));
+    Table out = Analyze(t, engine, spec).value();
+    if (threads == 1) {
+      serial = out.ToString();
+    } else {
+      EXPECT_EQ(out.ToString(), serial) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(RowParallelTest, LaterRowObservesCancellationAfterEarlierFailure) {
+  // The mid-body cancellation protocol: a row dispatched before an
+  // earlier row recorded its failure sees the flag flip live through its
+  // RowBatchContext and can bail out mid-body. The surfaced error is
+  // still the first in ROW order — the cancelled row's own status is
+  // shadowed, exactly as if a serial loop had never reached it.
+  std::atomic<bool> row1_started{false};
+  std::atomic<bool> observed_cancel{false};
+  Status result = ParallelRows(
+      2, 2, [&](size_t row, const RowBatchContext& ctx) -> Status {
+        if (row == 1) {
+          EXPECT_FALSE(ctx.Cancelled());  // No failure recorded yet.
+          row1_started = true;
+          while (!ctx.Cancelled()) std::this_thread::yield();
+          observed_cancel = true;
+          return Status::Cancelled("row 1 bailed early");
+        }
+        // Row 0 waits until row 1 is live mid-body, then fails: the
+        // cancellation below is necessarily a *mid-body* abort, not the
+        // pre-dispatch skip.
+        while (!row1_started) std::this_thread::yield();
+        return Status::InvalidArgument("row 0 failed");
+      });
+  EXPECT_EQ(result.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.message(), "row 0 failed");
+  EXPECT_TRUE(observed_cancel.load());
+}
+
+TEST_F(RowParallelTest, SerialRowLoopNeverReportsCancellation) {
+  // The serial path hands bodies a default RowBatchContext that is never
+  // cancelled: a serial loop stops at the first error by itself, so row
+  // bodies after a failure simply don't run.
+  std::vector<size_t> ran;
+  Status result = ParallelRows(
+      3, 1, [&](size_t row, const RowBatchContext& ctx) -> Status {
+        EXPECT_FALSE(ctx.Cancelled());
+        ran.push_back(row);
+        if (row == 1) return Status::InvalidArgument("row 1 failed");
+        return Status::OK();
+      });
+  EXPECT_EQ(result.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ran, (std::vector<size_t>{0, 1}));
 }
 
 // ---------------------------------------------------------------------------

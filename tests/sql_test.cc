@@ -201,6 +201,41 @@ TEST_F(SqlSessionTest, ShowTopics) {
   EXPECT_TRUE(saw_epsilon);
 }
 
+TEST_F(SqlSessionTest, ShowPoolReportsSchedulerCounters) {
+  // Drive at least one fanned-out batch through the shared pool, then
+  // read the scheduler counters back over SQL.
+  Run("CREATE TABLE pool_t (v)");
+  Run("INSERT INTO pool_t VALUES (Normal(10, 2)), (Normal(20, 3))");
+  Run("SET num_threads = 4");
+  Run("SET fixed_samples = 200");
+  Run("SELECT expected_sum(v) FROM pool_t WHERE v > 5");
+
+  SqlResult r = Run("SHOW POOL");
+  ASSERT_EQ(r.kind, SqlResult::Kind::kTable);
+  EXPECT_EQ(r.table.schema().columns(),
+            (std::vector<std::string>{"metric", "value"}));
+  ASSERT_EQ(r.table.num_rows(), 9u);
+  bool saw_threads = false;
+  bool saw_nested = false;
+  bool saw_joiner = false;
+  for (const Row& row : r.table.rows()) {
+    if (row[0] == Value("threads")) {
+      saw_threads = true;
+      EXPECT_GE(row[1].double_value(), 1.0);
+    }
+    if (row[0] == Value("nested_tasks")) saw_nested = true;
+    if (row[0] == Value("joiner_tasks")) saw_joiner = true;
+  }
+  EXPECT_TRUE(saw_threads);
+  EXPECT_TRUE(saw_nested);
+  EXPECT_TRUE(saw_joiner);
+
+  // POOL joined the SHOW topic list (and the error names it).
+  SqlResult bad = session_.Execute("SHOW NONSENSE");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.message.find("POOL"), std::string::npos);
+}
+
 TEST_F(SqlSessionTest, ShowKnobsReflectsSet) {
   Run("SET fixed_samples = 321");
   SqlResult knobs = Run("SHOW KNOBS");
