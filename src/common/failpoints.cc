@@ -1,0 +1,267 @@
+#include "src/common/failpoints.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace pip {
+namespace failpoints {
+
+namespace internal {
+std::atomic<uint64_t> g_armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Action action;
+  /// Consultations since arming; hashing this makes probabilistic firing
+  /// a deterministic, replayable schedule.
+  uint64_t consults = 0;
+  uint64_t fires = 0;
+};
+
+struct RegistryState {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+RegistryState& Registry() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+/// splitmix64: full-avalanche 64-bit mix, the same generator family the
+/// counter-based RNG uses. Keeps fire schedules independent across sites
+/// even when their counters march in lockstep.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;  // FNV-1a.
+  }
+  return h;
+}
+
+/// Deterministic "uniform in [0,1)" for consultation `n` of `site`.
+double SiteUniform(const std::string& site, uint64_t n) {
+  uint64_t bits = Mix64(HashName(site) ^ Mix64(n));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+const char* ActionName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kOff:
+      return "off";
+    case ActionKind::kError:
+      return "error";
+    case ActionKind::kShort:
+      return "short";
+  }
+  return "off";
+}
+
+/// Parses one "action(args)" element. Grammar documented in the header.
+StatusOr<Action> ParseAction(const std::string& text) {
+  size_t open = text.find('(');
+  std::string name = open == std::string::npos ? text : text.substr(0, open);
+  std::vector<double> args;
+  if (open != std::string::npos) {
+    if (text.back() != ')') {
+      return Status::InvalidArgument("failpoint action '" + text +
+                                     "' missing ')'");
+    }
+    std::string inner = text.substr(open + 1, text.size() - open - 2);
+    std::istringstream in(inner);
+    std::string part;
+    while (std::getline(in, part, ',')) {
+      char* end = nullptr;
+      double v = std::strtod(part.c_str(), &end);
+      if (end == part.c_str() || *end != '\0') {
+        return Status::InvalidArgument("failpoint action argument '" + part +
+                                       "' is not a number");
+      }
+      args.push_back(v);
+    }
+  }
+
+  Action action;
+  if (name == "error" || name == "short") {
+    action.kind = name == "error" ? ActionKind::kError : ActionKind::kShort;
+    if (args.size() > 1) {
+      return Status::InvalidArgument("failpoint action '" + name +
+                                     "' takes at most one argument");
+    }
+    if (!args.empty()) action.probability = args[0];
+  } else if (name == "sleep") {
+    action.kind = ActionKind::kOff;  // Fire() stalls; callers proceed.
+    if (args.empty() || args.size() > 2 || args[0] < 0 ||
+        args[0] != static_cast<uint64_t>(args[0])) {
+      return Status::InvalidArgument(
+          "failpoint action 'sleep' expects (ms[, probability])");
+    }
+    action.sleep_ms = static_cast<uint64_t>(args[0]);
+    if (args.size() == 2) action.probability = args[1];
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + name + "'");
+  }
+  if (!(action.probability >= 0.0 && action.probability <= 1.0)) {
+    return Status::InvalidArgument("failpoint probability must be in [0, 1]");
+  }
+  return action;
+}
+
+std::string RenderAction(const Action& action) {
+  std::ostringstream out;
+  if (action.sleep_ms > 0 && action.kind == ActionKind::kOff) {
+    out << "sleep(" << action.sleep_ms << "," << action.probability << ")";
+  } else {
+    out << ActionName(action.kind) << "(" << action.probability << ")";
+    if (action.sleep_ms > 0) out << "+sleep(" << action.sleep_ms << ")";
+  }
+  return out.str();
+}
+
+/// Arms the FAILPOINTS environment spec once per process, before any
+/// site can be consulted (Consult calls this; the disabled fast path
+/// never reaches it unless a test armed something explicitly, in which
+/// case the env was already applied or absent).
+void ArmFromEnvOnce() {
+  static const bool armed = [] {
+    const char* spec = std::getenv("FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') {
+      Status status = ArmFromSpec(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "FAILPOINTS ignored: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    return true;
+  }();
+  (void)armed;
+}
+
+}  // namespace
+
+namespace internal {
+
+ActionKind Consult(const char* site) {
+  RegistryState& reg = Registry();
+  Action action;
+  double u;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return ActionKind::kOff;
+    action = it->second.action;
+    u = SiteUniform(it->first, it->second.consults++);
+    bool fires = u < action.probability;
+    if (!fires) return ActionKind::kOff;
+    ++it->second.fires;
+  }
+  // Stall outside the registry lock so a slow site cannot serialize
+  // consultations of unrelated sites.
+  if (action.sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.sleep_ms));
+  }
+  return action.kind;
+}
+
+}  // namespace internal
+
+Status Arm(const std::string& site, Action action) {
+  if (site.empty()) {
+    return Status::InvalidArgument("failpoint site name is empty");
+  }
+  if (action.kind == ActionKind::kOff && action.sleep_ms == 0) {
+    return Status::InvalidArgument("failpoint action is a no-op");
+  }
+  if (!(action.probability >= 0.0 && action.probability <= 1.0)) {
+    return Status::InvalidArgument("failpoint probability must be in [0, 1]");
+  }
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto [it, inserted] = reg.sites.insert_or_assign(site, SiteState{action});
+  (void)it;
+  if (inserted) {
+    internal::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void Disarm(const std::string& site) {
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.sites.erase(site) > 0) {
+    internal::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  internal::g_armed_sites.fetch_sub(reg.sites.size(),
+                                    std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  // Validate every element before arming any, so a malformed spec never
+  // half-applies.
+  std::vector<std::pair<std::string, Action>> parsed;
+  std::istringstream in(spec);
+  std::string element;
+  while (std::getline(in, element, ';')) {
+    if (element.empty()) continue;
+    size_t eq = element.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == element.size()) {
+      return Status::InvalidArgument("failpoint spec element '" + element +
+                                     "' is not site=action");
+    }
+    PIP_ASSIGN_OR_RETURN(Action action, ParseAction(element.substr(eq + 1)));
+    parsed.emplace_back(element.substr(0, eq), action);
+  }
+  for (auto& [site, action] : parsed) {
+    PIP_RETURN_IF_ERROR(Arm(site, action));
+  }
+  return Status::OK();
+}
+
+uint64_t FireCount(const std::string& site) {
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<SiteInfo> ActiveSites() {
+  RegistryState& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<SiteInfo> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, state] : reg.sites) {
+    out.push_back({site, RenderAction(state.action), state.fires});
+  }
+  return out;
+}
+
+namespace {
+/// Process-wide env arming: runs during static initialization of this
+/// translation unit, so every binary (server, tests, benches) honors
+/// FAILPOINTS without explicit setup code.
+const bool g_env_armed = (ArmFromEnvOnce(), true);
+}  // namespace
+
+}  // namespace failpoints
+}  // namespace pip

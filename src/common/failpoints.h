@@ -1,0 +1,129 @@
+/// \file failpoints.h
+/// \brief Named fault-injection sites for the chaos/robustness harness.
+///
+/// A failpoint is a compiled-in hook at a spot where production code can
+/// fail in ways unit tests cannot conveniently provoke: a socket send
+/// erroring mid-frame, a distribution draw stalling, an index allocation
+/// failing. Each site is consulted through PIP_FAILPOINT("site"), which
+/// costs exactly one relaxed atomic load while no site is armed — cheap
+/// enough to leave in hot loops (draw kernels, pool task dispatch) in
+/// release builds.
+///
+/// Arming. Tests call Arm()/DisarmAll() directly; processes (pip-server,
+/// the chaos CI job) arm through the environment:
+///
+///   FAILPOINTS="wire.send_error=error(0.02);dist.generate=sleep(2,0.1)"
+///
+/// The spec grammar is `site=action[;site=action]...` with actions
+///   error(p)      fail the operation with probability p (default 1)
+///   sleep(ms[,p]) stall the operation ms milliseconds, probability p
+///   short(p)      degrade the operation (site-specific: e.g. the wire
+///                 send loop writes one byte per syscall), probability p
+///
+/// Probabilistic firing is deterministic: each site hashes its own hit
+/// counter (splitmix64), so a given spec replays the same fire schedule
+/// in every run of the same binary. Fault injection obeys the engine's
+/// determinism contract — an injected fault decides *whether* an
+/// operation completes (error / how slowly), never *what* a completed
+/// operation computes.
+///
+/// Site catalogue (grep PIP_FAILPOINT for ground truth):
+///   wire.send_error    server/client frame send fails (Internal)
+///   wire.short_write   frame send degrades to 1-byte writes
+///   wire.recv_error    frame receive fails (Internal)
+///   dist.generate      VariablePool draw stalls and/or fails
+///   pool.task          thread-pool task dispatch stalls
+///   index.insert_alloc expectation-index insert drops the entry
+///                      (simulated allocation failure; index stays cold
+///                      but correct)
+
+#ifndef PIP_COMMON_FAILPOINTS_H_
+#define PIP_COMMON_FAILPOINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace pip {
+namespace failpoints {
+
+/// What a consulted site tells its caller to do.
+enum class ActionKind {
+  kOff,    ///< Not armed or did not fire this time: proceed normally.
+  kError,  ///< Fail the operation with the site's documented error.
+  kShort,  ///< Degrade the operation (site-specific meaning).
+  // kSleep never reaches callers: Fire() performs the stall itself and
+  // reports kOff, so sleep-only sites need no handling at the call site.
+};
+
+/// One armed action. probability in [0, 1]; sleep_ms used by sleep.
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  double probability = 1.0;
+  uint64_t sleep_ms = 0;
+};
+
+namespace internal {
+/// Count of currently armed sites. The only state the disabled fast
+/// path touches.
+extern std::atomic<uint64_t> g_armed_sites;
+
+/// Slow path of PIP_FAILPOINT: looks the site up, decides whether it
+/// fires (deterministic per-site counter hash), performs sleeps, and
+/// returns what the caller should do.
+ActionKind Consult(const char* site);
+}  // namespace internal
+
+/// True while any site is armed. One relaxed load; the whole cost of a
+/// quiescent failpoint.
+inline bool Enabled() {
+  return internal::g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms `site` with `action` (replacing any previous arming).
+/// InvalidArgument for kOff or a probability outside [0, 1].
+Status Arm(const std::string& site, Action action);
+
+/// Disarms one site (no-op when not armed) / every site.
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// Arms every `site=action` element of a spec string (grammar above).
+/// On a malformed element nothing in the spec is armed.
+Status ArmFromSpec(const std::string& spec);
+
+/// Times a site fired (caused an error/short/stall) since arming; 0 for
+/// unknown or never-fired sites. Counters reset when the site is
+/// re-armed or disarmed.
+uint64_t FireCount(const std::string& site);
+
+/// One row per armed site: (site, rendered action, fire count). Sorted
+/// by site name — the SHOW FAILPOINTS listing.
+struct SiteInfo {
+  std::string site;
+  std::string action;
+  uint64_t fires = 0;
+};
+std::vector<SiteInfo> ActiveSites();
+
+}  // namespace failpoints
+}  // namespace pip
+
+/// Consults a failpoint site. Yields an ActionKind; sites that only ever
+/// arm error actions can compare against kError directly:
+///
+///   if (PIP_FAILPOINT("wire.recv_error") ==
+///       failpoints::ActionKind::kError) {
+///     return Status::Internal("injected recv failure");
+///   }
+///
+/// Costs one relaxed atomic load when nothing is armed.
+#define PIP_FAILPOINT(site)                                    \
+  (::pip::failpoints::Enabled()                                \
+       ? ::pip::failpoints::internal::Consult(site)            \
+       : ::pip::failpoints::ActionKind::kOff)
+
+#endif  // PIP_COMMON_FAILPOINTS_H_

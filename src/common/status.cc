@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -32,6 +32,13 @@ enum class StatusCode {
   kCancelled,         ///< Work abandoned cooperatively (its output would
                       ///< be discarded anyway, e.g. a batch row after an
                       ///< earlier row's failure).
+  kTimeout,           ///< A statement deadline expired before completion.
+                      ///< Deciding *whether* work finishes, never *what*
+                      ///< it computes: a call that completes under its
+                      ///< deadline is bit-identical to an undeadlined one.
+  kOverloaded,        ///< Admission control shed the request; retryable
+                      ///< (distinct from kInternal: nothing is broken,
+                      ///< the system is deliberately saying "try later").
 };
 
 /// Human-readable name of a status code.
@@ -77,6 +84,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

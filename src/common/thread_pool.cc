@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "src/common/failpoints.h"
+
 namespace pip {
 
 namespace {
@@ -141,6 +143,9 @@ bool ThreadPool::RunOneTask(bool as_joiner) {
       .fetch_add(1, std::memory_order_relaxed);
   if (stolen) counters_.steals.fetch_add(1, std::memory_order_relaxed);
   {
+    // Chaos site: dispatch latency. Stalls are invisible to results —
+    // chunk schedules and fold order never depend on timing.
+    (void)PIP_FAILPOINT("pool.task");
     // Pool-task baseline budget of 1: a bare Submit() task that starts a
     // parallel region of its own must not assume pool width it was never
     // granted. ParallelFor helper tasks override this from inside with

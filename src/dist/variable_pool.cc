@@ -1,5 +1,7 @@
 #include "src/dist/variable_pool.h"
 
+#include "src/common/failpoints.h"
+
 namespace pip {
 
 VariablePool::~VariablePool() {
@@ -134,6 +136,12 @@ StatusOr<double> VariablePool::Generate(VarRef v, uint64_t sample_index,
 Status VariablePool::GenerateJoint(uint64_t var_id, uint64_t sample_index,
                                    uint64_t attempt,
                                    std::vector<double>* out) const {
+  // Chaos site: a slow or failing draw. Errors abort the statement —
+  // they never alter a draw that does complete, so injection preserves
+  // the determinism contract.
+  if (PIP_FAILPOINT("dist.generate") == failpoints::ActionKind::kError) {
+    return Status::Internal("injected draw failure (dist.generate)");
+  }
   PIP_ASSIGN_OR_RETURN(const VariableInfo* info, Info(var_id));
   SampleContext ctx{seed_, var_id, sample_index, attempt};
   PIP_RETURN_IF_ERROR(info->dist->GenerateJoint(info->params, ctx, out));
@@ -149,6 +157,9 @@ Status VariablePool::GenerateJoint(uint64_t var_id, uint64_t sample_index,
 Status VariablePool::GenerateBatch(uint64_t var_id, uint64_t sample_begin,
                                    uint64_t n, uint64_t attempt,
                                    std::vector<double>* out) const {
+  if (PIP_FAILPOINT("dist.generate") == failpoints::ActionKind::kError) {
+    return Status::Internal("injected draw failure (dist.generate)");
+  }
   PIP_ASSIGN_OR_RETURN(const VariableInfo* info, Info(var_id));
   SampleContext ctx{seed_, var_id, sample_begin, attempt};
   out->resize(n * info->num_components);

@@ -1,5 +1,7 @@
 #include "src/index/expectation_index.h"
 
+#include "src/common/failpoints.h"
+
 namespace pip {
 
 namespace {
@@ -51,6 +53,13 @@ void ExpectationIndex::Insert(uint64_t table_id, uint64_t generation,
                               uint64_t row_id, const std::string& result_key,
                               IndexedValue value) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Chaos site: allocation failure while materializing the entry. The
+  // backfill is dropped — queries recompute, the index stays cold but
+  // never serves a partial entry.
+  if (PIP_FAILPOINT("index.insert_alloc") == failpoints::ActionKind::kError) {
+    ++stats_.insert_failures;
+    return;
+  }
   auto gen_it = current_generation_.find(table_id);
   if (gen_it != current_generation_.end() && generation < gen_it->second) {
     // A writer advanced the table while this result was being computed

@@ -107,6 +107,9 @@ class ExpectationIndex {
     uint64_t evictions = 0;      ///< Entries dropped by the LRU budget.
     uint64_t invalidations = 0;  ///< Entries purged by generation bumps.
     uint64_t stale_rejects = 0;  ///< Backfills rejected as outdated.
+    uint64_t insert_failures = 0;  ///< Backfills dropped by allocation
+                                   ///< failure (real or injected). The
+                                   ///< index stays cold but correct.
   };
 
   explicit ExpectationIndex(size_t memory_budget = kDefaultMemoryBudget)

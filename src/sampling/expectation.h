@@ -118,6 +118,21 @@ struct SamplingOptions {
   /// last-configured session wins; see README "Expectation index".
   size_t index_memory_budget = ExpectationIndex::kDefaultMemoryBudget;
 
+  /// Per-statement deadline in milliseconds; 0 disables. The session
+  /// layer composes it into cancel_check as a steady-clock deadline at
+  /// statement start, so enforcement has chunk-barrier granularity: a
+  /// statement that exceeds the deadline stops at its next chunk fold
+  /// and surfaces Status::Timeout (ERR TIMEOUT over the wire). Like
+  /// cancel_check, excluded from the options fingerprint — the deadline
+  /// decides whether a statement finishes, never what it computes.
+  uint64_t statement_timeout_ms = 0;
+  /// How long a statement may wait in the server's admission gate before
+  /// being shed with Status::Overloaded (ERR OVERLOADED, retryable);
+  /// 0 disables shedding — the statement queues until admitted (the
+  /// pre-robustness behavior). Server-side only; excluded from the
+  /// fingerprint like the other non-result knobs.
+  uint64_t admission_timeout_ms = 0;
+
   /// Cooperative cancellation hook. When set, the Monte Carlo loops poll
   /// it at chunk-fold barriers and abandon the call with
   /// Status::Cancelled once it returns true. Used by ParallelRows

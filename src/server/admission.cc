@@ -2,32 +2,75 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 namespace pip {
 namespace server {
 
-AdmissionGate::Ticket AdmissionGate::Acquire(size_t weight) {
+StatusOr<AdmissionGate::Ticket> AdmissionGate::Acquire(size_t weight) {
+  return AcquireInternal(weight, /*bounded=*/false, 0);
+}
+
+StatusOr<AdmissionGate::Ticket> AdmissionGate::TryAcquireFor(
+    size_t weight, uint64_t timeout_ms) {
+  return AcquireInternal(weight, /*bounded=*/true, timeout_ms);
+}
+
+StatusOr<AdmissionGate::Ticket> AdmissionGate::AcquireInternal(
+    size_t weight, bool bounded, uint64_t timeout_ms) {
   weight = std::max<size_t>(1, weight);
   if (capacity_ != 0) weight = std::min(weight, capacity_);
   std::unique_lock<std::mutex> lock(mu_);
+  // Admissible once there is room — or the gate closed, in which case
+  // the waiter must wake to observe the closure.
+  auto admissible = [&] {
+    return closed_ || capacity_ == 0 ||
+           stats_.in_flight_weight + weight <= capacity_;
+  };
   uint64_t wait_us = 0;
-  if (capacity_ != 0 && stats_.in_flight_weight + weight > capacity_) {
+  if (!admissible()) {
     auto start = std::chrono::steady_clock::now();
-    cv_.wait(lock, [&] {
-      return stats_.in_flight_weight + weight <= capacity_;
-    });
+    ++stats_.waiting;
+    bool admitted = true;
+    if (bounded) {
+      admitted = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              admissible);
+    } else {
+      cv_.wait(lock, admissible);
+    }
+    --stats_.waiting;
     wait_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
     ++stats_.queued;
     stats_.total_wait_us += wait_us;
+    if (!admitted) {
+      ++stats_.shed;
+      stats_.shed_weight += weight;
+      return Status::Overloaded(
+          "admission gate saturated after " + std::to_string(timeout_ms) +
+          " ms: in-flight weight " + std::to_string(stats_.in_flight_weight) +
+          "/" + std::to_string(capacity_) + ", queue depth " +
+          std::to_string(stats_.waiting) + "; retry later");
+    }
+  }
+  if (closed_) {
+    return Status::Cancelled("admission gate closed (server shutting down)");
   }
   ++stats_.admitted;
   stats_.admitted_weight += weight;
   ++stats_.in_flight;
   stats_.in_flight_weight += weight;
   return Ticket(this, wait_us, weight);
+}
+
+void AdmissionGate::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
 }
 
 void AdmissionGate::Release(size_t weight) {

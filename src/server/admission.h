@@ -12,6 +12,12 @@
 /// wait in the wire response, so clients can see admission delay
 /// separately from execution time.
 ///
+/// Waiting is bounded: TryAcquireFor sheds the statement with
+/// Status::Overloaded (ERR OVERLOADED on the wire — retryable, unlike
+/// INTERNAL) once it has queued longer than the caller's admission
+/// timeout. Close() fails every pending and future acquire with
+/// Status::Cancelled so shutdown never waits behind queued statements.
+///
 /// C++17 has no std::counting_semaphore, so this is the classic
 /// mutex + condvar counting semaphore, plus wait-time measurement and
 /// occupancy stats.
@@ -22,6 +28,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+
+#include "src/common/status.h"
 
 namespace pip {
 namespace server {
@@ -80,8 +88,11 @@ class AdmissionGate {
     uint64_t queued = 0;           ///< Tickets that had to wait.
     uint64_t total_wait_us = 0;    ///< Sum of all queue waits.
     uint64_t admitted_weight = 0;  ///< Total weight units granted.
+    uint64_t shed = 0;             ///< Acquires refused as Overloaded.
+    uint64_t shed_weight = 0;      ///< Weight units those would have held.
     size_t in_flight = 0;          ///< Currently held tickets.
     size_t in_flight_weight = 0;   ///< Weight units currently held.
+    size_t waiting = 0;            ///< Acquires currently queued.
   };
 
   /// `capacity` = max weight units admitted concurrently (with the
@@ -96,7 +107,26 @@ class AdmissionGate {
   /// Blocks until `weight` units are free, then returns the held
   /// ticket. Weights above the capacity are clamped to it, so an
   /// over-sized statement still runs (alone) instead of deadlocking.
-  Ticket Acquire(size_t weight = 1);
+  /// Fails with Status::Cancelled only when the gate has been closed.
+  StatusOr<Ticket> Acquire(size_t weight = 1);
+
+  /// Like Acquire, but waits at most `timeout_ms` for capacity. On
+  /// timeout the acquire is shed with Status::Overloaded carrying
+  /// occupancy diagnostics (in-flight weight, queue depth) — the
+  /// retryable signal, distinct from INTERNAL. timeout_ms of 0 sheds
+  /// immediately when the gate is saturated.
+  StatusOr<Ticket> TryAcquireFor(size_t weight, uint64_t timeout_ms);
+
+  /// Shuts the gate: every pending and future acquire fails with
+  /// Status::Cancelled. Held tickets still release normally. Called
+  /// first in Server::Stop so shutdown never queues behind admitted
+  /// work. Irreversible.
+  void Close();
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
 
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -106,11 +136,14 @@ class AdmissionGate {
   size_t capacity() const { return capacity_; }
 
  private:
+  StatusOr<Ticket> AcquireInternal(size_t weight, bool bounded,
+                                   uint64_t timeout_ms);
   void Release(size_t weight);
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  bool closed_ = false;
   Stats stats_;
 };
 

@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "src/server/wire.h"
@@ -20,6 +23,62 @@ namespace {
 // a statement at or below a small point lookup costs exactly one unit
 // and max_sampling keeps its old "concurrent small statements" reading.
 constexpr size_t kDrawsPerWeightUnit = 1000;
+
+/// Detects an abandoned connection while a statement runs, so the
+/// session's cancel hook can stop the statement at its next chunk
+/// barrier instead of sampling to completion for nobody (and holding
+/// its admission weight the whole time).
+///
+/// The probe is polled from sampling worker threads, so it is all
+/// atomics: a sticky `gone` flag plus a CAS-claimed rate limiter that
+/// bounds the syscall cost to one poll+recv per ~5 ms across all
+/// threads. poll(POLLIN) distinguishes "quiet socket" (alive, no
+/// syscall beyond the poll) from "readable" — and a readable socket is
+/// only a disconnect when MSG_PEEK sees EOF or a hard error; buffered
+/// bytes mean a pipelined statement, not a departure.
+class PeerLivenessProbe {
+ public:
+  explicit PeerLivenessProbe(int fd) : fd_(fd) {}
+
+  bool PeerGone() {
+    if (gone_.load(std::memory_order_relaxed)) return true;
+    int64_t now = NowMicros();
+    int64_t next = next_probe_us_.load(std::memory_order_relaxed);
+    if (now < next) return false;
+    if (!next_probe_us_.compare_exchange_strong(next, now + kIntervalUs,
+                                                std::memory_order_relaxed)) {
+      return false;  // Another worker claimed this probe window.
+    }
+    if (ProbeOnce()) gone_.store(true, std::memory_order_relaxed);
+    return gone_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int64_t kIntervalUs = 5000;
+
+  static int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  bool ProbeOnce() const {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int r = ::poll(&pfd, 1, 0);
+    if (r <= 0) return false;  // Quiet or transient failure: assume alive.
+    char b;
+    ssize_t n = ::recv(fd_, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n > 0) return false;  // Buffered pipelined bytes: alive.
+    if (n == 0) return true;  // Orderly EOF: peer went away.
+    return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+  }
+
+  const int fd_;
+  std::atomic<bool> gone_{false};
+  std::atomic<int64_t> next_probe_us_{0};
+};
 
 }  // namespace
 
@@ -91,6 +150,11 @@ void Server::ServeConnection(int fd) {
   // Versioned greeting: clients check the leading token before sending.
   if (WriteFrame(fd, std::string(kProtocolVersion) + " sql").ok()) {
     sql::Session session(db_);
+    // Disconnect cancellation: while a statement runs, the sampling
+    // loops poll this probe at chunk barriers; an abandoned statement
+    // stops there, and its RAII ticket releases the admission weight.
+    PeerLivenessProbe probe(fd);
+    session.set_external_cancel([&probe] { return probe.PeerGone(); });
     std::string statement;
     while (!stopping_.load(std::memory_order_acquire)) {
       auto more = ReadFrame(fd, &statement);
@@ -108,7 +172,23 @@ void Server::ServeConnection(int fd) {
             *db_, statement, *session.mutable_options());
         size_t weight =
             (volume + kDrawsPerWeightUnit - 1) / kDrawsPerWeightUnit;
-        ticket = gate_.Acquire(weight);
+        // ADMISSION_TIMEOUT_MS = 0 queues without bound (the knob's
+        // "disabled" convention); nonzero bounds the wait and sheds.
+        uint64_t admission_ms =
+            session.mutable_options()->admission_timeout_ms;
+        auto admitted = admission_ms == 0
+                            ? gate_.Acquire(weight)
+                            : gate_.TryAcquireFor(weight, admission_ms);
+        if (!admitted.ok()) {
+          // Gate closed: the server is stopping; drop the connection.
+          if (admitted.status().code() == StatusCode::kCancelled) break;
+          // Shed (ERR OVERLOADED): refuse this statement, keep the
+          // connection — the client backs off and retries.
+          sql::SqlResult shed = sql::SqlResult::FromStatus(admitted.status());
+          if (!WriteFrame(fd, EncodeResponse(shed, 0)).ok()) break;
+          continue;
+        }
+        ticket = std::move(admitted).value();
         queue_us = ticket.wait_us();
       }
       sql::SqlResult result = session.Execute(statement);
@@ -122,6 +202,10 @@ void Server::ServeConnection(int fd) {
 
 void Server::Stop() {
   if (listen_fd_ < 0) return;
+  // Close the gate before anything else: connection threads queued in
+  // TryAcquireFor wake immediately with kCancelled instead of making
+  // shutdown wait out their admission timeouts.
+  gate_.Close();
   bool was_stopping = stopping_.exchange(true, std::memory_order_acq_rel);
   if (!was_stopping) {
     ::shutdown(listen_fd_, SHUT_RDWR);

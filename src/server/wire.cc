@@ -8,6 +8,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/common/failpoints.h"
+
 namespace pip {
 namespace server {
 
@@ -27,7 +29,18 @@ Status SocketError(const char* op) {
 Status SendAll(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
-    ssize_t n = ::send(fd, data + sent, len - sent, kSendFlags);
+    size_t want = len - sent;
+    if (failpoints::Enabled()) {
+      if (PIP_FAILPOINT("wire.send_error") == failpoints::ActionKind::kError) {
+        return Status::Internal("injected send failure (wire.send_error)");
+      }
+      // Degrade to one byte per syscall: the peer's frame reassembly
+      // must survive arbitrary fragmentation.
+      if (PIP_FAILPOINT("wire.short_write") == failpoints::ActionKind::kShort) {
+        want = 1;
+      }
+    }
+    ssize_t n = ::send(fd, data + sent, want, kSendFlags);
     if (n < 0) {
       if (errno == EINTR) continue;
       return SocketError("send");
@@ -42,6 +55,9 @@ Status SendAll(int fd, const char* data, size_t len) {
 StatusOr<size_t> RecvAll(int fd, char* data, size_t len) {
   size_t got = 0;
   while (got < len) {
+    if (PIP_FAILPOINT("wire.recv_error") == failpoints::ActionKind::kError) {
+      return Status::Internal("injected recv failure (wire.recv_error)");
+    }
     ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;

@@ -36,6 +36,17 @@ StatusOr<size_t> AsCount(const std::string& name, double value) {
 // order.
 const std::vector<KnobDef>& Registry() {
   static const std::vector<KnobDef>* knobs = new std::vector<KnobDef>{
+      {"ADMISSION_TIMEOUT_MS",
+       "max wait in the server admission gate before ERR OVERLOADED "
+       "(0 = queue without bound)",
+       [](const SamplingOptions& o) {
+         return RenderCount(static_cast<size_t>(o.admission_timeout_ms));
+       },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(size_t ms, AsCount("ADMISSION_TIMEOUT_MS", v));
+         o->admission_timeout_ms = ms;
+         return Status::OK();
+       }},
       {"CHUNK_SAMPLES",
        "samples per shard chunk (determinism schedule; must be >= 1)",
        [](const SamplingOptions& o) { return RenderCount(o.chunk_samples); },
@@ -137,6 +148,17 @@ const std::vector<KnobDef>& Registry() {
        [](SamplingOptions* o, double v) {
          PIP_ASSIGN_OR_RETURN(size_t offset, AsCount("SAMPLE_OFFSET", v));
          o->sample_offset = offset;
+         return Status::OK();
+       }},
+      {"STATEMENT_TIMEOUT_MS",
+       "per-statement deadline enforced at chunk barriers, ERR TIMEOUT "
+       "(0 = no deadline)",
+       [](const SamplingOptions& o) {
+         return RenderCount(static_cast<size_t>(o.statement_timeout_ms));
+       },
+       [](SamplingOptions* o, double v) {
+         PIP_ASSIGN_OR_RETURN(size_t ms, AsCount("STATEMENT_TIMEOUT_MS", v));
+         o->statement_timeout_ms = ms;
          return Status::OK();
        }},
   };

@@ -1,7 +1,9 @@
 #include "src/sql/session.h"
 
+#include <chrono>
 #include <sstream>
 
+#include "src/common/failpoints.h"
 #include "src/common/thread_pool.h"
 #include "src/sql/knobs.h"
 #include "src/sql/lexer.h"
@@ -380,6 +382,17 @@ class Parser {
       }
       return SqlResult::FromTable(std::move(table));
     }
+    if (Peek().Is("FAILPOINTS")) {
+      Advance();
+      PIP_RETURN_IF_ERROR(ExpectStatementEnd());
+      Table table(Schema({"site", "action", "fires"}));
+      for (const failpoints::SiteInfo& site : failpoints::ActiveSites()) {
+        PIP_RETURN_IF_ERROR(
+            table.Append({Value(site.site), Value(site.action),
+                          Value(static_cast<double>(site.fires))}));
+      }
+      return SqlResult::FromTable(std::move(table));
+    }
     if (Peek().Is("KNOBS")) {
       Advance();
       PIP_RETURN_IF_ERROR(ExpectStatementEnd());
@@ -405,6 +418,7 @@ class Parser {
           {"evictions", stats.evictions},
           {"invalidations", stats.invalidations},
           {"stale_rejects", stats.stale_rejects},
+          {"insert_failures", stats.insert_failures},
       };
       for (const auto& [metric, value] : rows) {
         PIP_RETURN_IF_ERROR(table.Append(
@@ -460,7 +474,8 @@ class Parser {
       return SqlResult::FromTable(std::move(table));
     }
     return Error(
-        "expected DISTRIBUTIONS, INDEX, KNOBS, POOL, TABLES or VARIABLES");
+        "expected DISTRIBUTIONS, FAILPOINTS, INDEX, KNOBS, POOL, TABLES or "
+        "VARIABLES");
   }
 
   StatusOr<SqlResult> ParseCreate() {
@@ -766,6 +781,10 @@ const char* WireErrorCodeName(WireErrorCode code) {
       return "CAPABILITY";
     case WireErrorCode::kInternal:
       return "INTERNAL";
+    case WireErrorCode::kTimeout:
+      return "TIMEOUT";
+    case WireErrorCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "INTERNAL";
 }
@@ -774,7 +793,8 @@ StatusOr<WireErrorCode> WireErrorCodeFromName(const std::string& name) {
   for (WireErrorCode code :
        {WireErrorCode::kNone, WireErrorCode::kParse, WireErrorCode::kNotFound,
         WireErrorCode::kInvalidArg, WireErrorCode::kCapability,
-        WireErrorCode::kInternal}) {
+        WireErrorCode::kInternal, WireErrorCode::kTimeout,
+        WireErrorCode::kOverloaded}) {
     if (name == WireErrorCodeName(code)) return code;
   }
   return Status::NotFound("unknown wire error code '" + name + "'");
@@ -796,10 +816,16 @@ WireErrorCode WireErrorCodeFor(const Status& status) {
     case StatusCode::kTypeMismatch:
     case StatusCode::kInconsistent:
       return WireErrorCode::kInvalidArg;
+    case StatusCode::kTimeout:
+      return WireErrorCode::kTimeout;
+    case StatusCode::kOverloaded:
+      return WireErrorCode::kOverloaded;
     case StatusCode::kInternal:
-    // Cancelled never reaches a client on its own — a cancelled batch
-    // row is shadowed by the earlier row's real error — so a surfaced
-    // one is an engine invariant violation.
+    // Cancelled never reaches a client on its own — a deadline-expired
+    // cancellation is reclassified kTimeout by Session::Execute, a
+    // disconnect cancellation has nobody left to respond to, and a
+    // cancelled batch row is shadowed by the earlier row's real error —
+    // so a surfaced one is an engine invariant violation.
     case StatusCode::kCancelled:
       return WireErrorCode::kInternal;
   }
@@ -929,9 +955,46 @@ SqlResult Session::Execute(const std::string& statement) {
     return SqlResult::FromStatus(
         Status::ParseError(tokens.status().message()));
   }
+  // Statement envelope: compose the session's resident cancel hook with
+  // the external one (the server's disconnect probe) and, when
+  // STATEMENT_TIMEOUT_MS is set, a steady-clock deadline. The deadline
+  // is read once at statement start, so a SET inside this statement
+  // takes effect from the next statement on. Cancellation decides
+  // whether the statement finishes, never what it computes: every chunk
+  // that does fold is bit-identical to an uncancelled run.
+  const uint64_t timeout_ms = options_.statement_timeout_ms;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const std::function<bool()> saved = options_.cancel_check;
+  const std::function<bool()> external = external_cancel_;
+  if (external || timeout_ms > 0) {
+    const bool has_deadline = timeout_ms > 0;
+    const std::function<bool()> prior = saved;
+    options_.cancel_check = [prior, external, has_deadline, deadline] {
+      if (prior && prior()) return true;
+      if (external && external()) return true;
+      return has_deadline && std::chrono::steady_clock::now() >= deadline;
+    };
+  }
   Parser parser(std::move(tokens).value(), db_, &options_);
   auto result = parser.ParseStatement();
-  if (!result.ok()) return SqlResult::FromStatus(result.status());
+  options_.cancel_check = saved;
+  if (!result.ok()) {
+    Status status = result.status();
+    if (status.code() == StatusCode::kCancelled) {
+      // The engine reports generic cancellation; the cause is only known
+      // here. A disconnect outranks the deadline — there is no one left
+      // to deliver ERR TIMEOUT to.
+      if (external && external()) {
+        status = Status::Cancelled("statement cancelled: client disconnected");
+      } else if (timeout_ms > 0 &&
+                 std::chrono::steady_clock::now() >= deadline) {
+        status = Status::Timeout("statement exceeded STATEMENT_TIMEOUT_MS=" +
+                                 std::to_string(timeout_ms));
+      }
+    }
+    return SqlResult::FromStatus(status);
+  }
   return std::move(result).value();
 }
 

@@ -29,7 +29,8 @@
 ///   INSERT INTO name VALUES (expr, ...) [, (expr, ...)]*
 ///   SELECT targets FROM name [, name]* [WHERE conjunction]
 ///   SET knob = value        -- session sampling knobs (see knobs.h)
-///   SHOW DISTRIBUTIONS | KNOBS | TABLES | VARIABLES
+///   SHOW DISTRIBUTIONS | FAILPOINTS | INDEX | KNOBS | POOL | TABLES
+///     | VARIABLES
 ///
 /// SET tunes the session's SamplingOptions through the declarative knob
 /// registry (src/sql/knobs.h) — the same registry behind `SHOW KNOBS`
@@ -75,6 +76,10 @@ enum class WireErrorCode {
   kInvalidArg,  ///< Well-formed statement with invalid content.
   kCapability,  ///< Recognized construct the engine does not support.
   kInternal,    ///< Engine-side invariant failure.
+  kTimeout,     ///< Statement deadline (STATEMENT_TIMEOUT_MS) expired.
+  kOverloaded,  ///< Admission control shed the statement; retry later
+                ///< (with backoff) — nothing about the statement itself
+                ///< is wrong, so this is distinct from INTERNAL.
 };
 
 /// Wire name, e.g. "PARSE", "NOT_FOUND". Stable across releases.
@@ -176,12 +181,23 @@ class Session {
   /// returns a result; failures are tagged Kind::kError.
   SqlResult Execute(const std::string& statement);
 
+  /// Installs a statement-independent cancellation hook — the server
+  /// wires its peer-liveness probe here so an abandoned statement stops
+  /// at the next chunk barrier. Execute composes it (with the
+  /// STATEMENT_TIMEOUT_MS deadline) into the sampling cancel_check for
+  /// every statement. May be polled from sampling worker threads, so the
+  /// hook must be thread-safe; pass an empty function to clear.
+  void set_external_cancel(std::function<bool()> cancel) {
+    external_cancel_ = std::move(cancel);
+  }
+
   SamplingOptions* mutable_options() { return &options_; }
   Database* database() { return db_; }
 
  private:
   Database* db_;
   SamplingOptions options_;
+  std::function<bool()> external_cancel_;
 };
 
 }  // namespace sql

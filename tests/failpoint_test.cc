@@ -1,0 +1,208 @@
+/// \file failpoint_test.cc
+/// \brief Fault-injection harness: spec parsing, deterministic firing,
+/// the determinism contract at every injection site, and the SHOW
+/// FAILPOINTS surface.
+///
+/// The load-bearing property is the contract: an injected fault decides
+/// *whether* an operation completes, never *what* a completed operation
+/// computes. Tests arm a site, observe categorized failures, disarm, and
+/// require results bit-identical to a never-armed run.
+
+#include "src/common/failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/engine/database.h"
+#include "src/sql/session.h"
+
+namespace pip {
+namespace {
+
+/// Every test leaves the process-global registry clean; a leaked arming
+/// would poison unrelated tests in this binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  FailpointTest() { failpoints::DisarmAll(); }
+  ~FailpointTest() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisabledFastPathReportsOff) {
+  EXPECT_FALSE(failpoints::Enabled());
+  EXPECT_EQ(PIP_FAILPOINT("nothing.armed"), failpoints::ActionKind::kOff);
+  EXPECT_EQ(failpoints::FireCount("nothing.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmFireDisarmRoundTrip) {
+  failpoints::Action action;
+  action.kind = failpoints::ActionKind::kError;
+  ASSERT_TRUE(failpoints::Arm("unit.site", action).ok());
+  EXPECT_TRUE(failpoints::Enabled());
+  // probability defaults to 1: every consult fires.
+  EXPECT_EQ(PIP_FAILPOINT("unit.site"), failpoints::ActionKind::kError);
+  EXPECT_EQ(PIP_FAILPOINT("unit.site"), failpoints::ActionKind::kError);
+  EXPECT_EQ(failpoints::FireCount("unit.site"), 2u);
+  // Other sites stay off while the registry is hot.
+  EXPECT_EQ(PIP_FAILPOINT("other.site"), failpoints::ActionKind::kOff);
+  failpoints::Disarm("unit.site");
+  EXPECT_FALSE(failpoints::Enabled());
+  EXPECT_EQ(PIP_FAILPOINT("unit.site"), failpoints::ActionKind::kOff);
+}
+
+TEST_F(FailpointTest, SpecParsingArmsEverySiteOrNone) {
+  ASSERT_TRUE(
+      failpoints::ArmFromSpec("a.x=error(0.5);b.y=short;c.z=sleep(1,0.25)")
+          .ok());
+  auto sites = failpoints::ActiveSites();
+  ASSERT_EQ(sites.size(), 3u);  // Sorted by site name.
+  EXPECT_EQ(sites[0].site, "a.x");
+  EXPECT_EQ(sites[1].site, "b.y");
+  EXPECT_EQ(sites[2].site, "c.z");
+  failpoints::DisarmAll();
+
+  // All-or-nothing: one malformed element must arm nothing.
+  for (const char* bad :
+       {"a.x=error(0.5);b.y=", "a.x=explode", "a.x=error(2)",
+        "a.x=error(0.5;b.y=short", "a.x=sleep", "=error", "a.x"}) {
+    EXPECT_FALSE(failpoints::ArmFromSpec(bad).ok()) << bad;
+    EXPECT_TRUE(failpoints::ActiveSites().empty()) << bad;
+  }
+}
+
+TEST_F(FailpointTest, ProbabilisticFiringIsDeterministic) {
+  failpoints::Action action;
+  action.kind = failpoints::ActionKind::kError;
+  action.probability = 0.3;
+
+  // Two armings of the same site replay one fire schedule: firing hashes
+  // the per-site consult counter, which re-arming resets.
+  std::string first, second;
+  ASSERT_TRUE(failpoints::Arm("sched.site", action).ok());
+  for (int i = 0; i < 64; ++i) {
+    first += PIP_FAILPOINT("sched.site") == failpoints::ActionKind::kError
+                 ? '1'
+                 : '0';
+  }
+  failpoints::DisarmAll();
+  ASSERT_TRUE(failpoints::Arm("sched.site", action).ok());
+  for (int i = 0; i < 64; ++i) {
+    second += PIP_FAILPOINT("sched.site") == failpoints::ActionKind::kError
+                  ? '1'
+                  : '0';
+  }
+  EXPECT_EQ(first, second);
+  // Roughly the armed probability — a loose bound, and the schedule is
+  // fixed rather than random, so this can never flake.
+  size_t fires =
+      static_cast<size_t>(std::count(first.begin(), first.end(), '1'));
+  EXPECT_GT(fires, 8u);
+  EXPECT_LT(fires, 32u);
+}
+
+TEST_F(FailpointTest, DrawSiteFailsStatementsThenLeavesNoTrace) {
+  Database db(4242);
+  sql::Session session(&db);
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (u, v)").ok());
+  ASSERT_TRUE(session
+                  .Execute("INSERT INTO t VALUES "
+                           "(Normal(10, 2), Uniform(0, 5)), "
+                           "(Uniform(1, 3), Normal(4, 1))")
+                  .ok());
+  ASSERT_TRUE(session.Execute("SET FIXED_SAMPLES = 500").ok());
+  // Force the engine off every draw-free path: a two-variable product
+  // defeats closed-form integration, and the expectation index is off so
+  // repeats genuinely recompute.
+  ASSERT_TRUE(session.Execute("SET INDEX_ENABLED = 0").ok());
+  const std::string query = "SELECT expected_sum(u * v) AS s FROM t";
+
+  sql::SqlResult before = session.Execute(query);
+  ASSERT_TRUE(before.ok()) << before.ToString();
+
+  ASSERT_TRUE(failpoints::ArmFromSpec("dist.generate=error").ok());
+  sql::SqlResult injected = session.Execute(query);
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.error.code, sql::WireErrorCode::kInternal);
+  EXPECT_NE(injected.error.message.find("dist.generate"), std::string::npos);
+  EXPECT_GT(failpoints::FireCount("dist.generate"), 0u);
+  failpoints::DisarmAll();
+
+  // The contract: the failed statement perturbed nothing. Same session,
+  // same statement, bit-identical rendering.
+  sql::SqlResult after = session.Execute(query);
+  ASSERT_TRUE(after.ok()) << after.ToString();
+  EXPECT_EQ(after.ToString(), before.ToString());
+}
+
+TEST_F(FailpointTest, SleepSiteStallsButCompletesIdentically) {
+  Database db(99);
+  sql::Session session(&db);
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (u, v)").ok());
+  ASSERT_TRUE(
+      session.Execute("INSERT INTO t VALUES (Normal(0, 1), Uniform(2, 4))")
+          .ok());
+  ASSERT_TRUE(session.Execute("SET FIXED_SAMPLES = 200").ok());
+  ASSERT_TRUE(session.Execute("SET INDEX_ENABLED = 0").ok());
+  const std::string query = "SELECT expected_sum(u * v) AS s FROM t";
+  sql::SqlResult clean = session.Execute(query);
+  ASSERT_TRUE(clean.ok());
+
+  // Sleep fires are invisible to callers (kOff) and to results.
+  ASSERT_TRUE(failpoints::ArmFromSpec("dist.generate=sleep(1,0.05)").ok());
+  sql::SqlResult slow = session.Execute(query);
+  failpoints::DisarmAll();
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow.ToString(), clean.ToString());
+}
+
+TEST_F(FailpointTest, IndexInsertSiteDropsBackfillsButStaysCorrect) {
+  Database db(7);
+  sql::Session session(&db);
+  session.mutable_options()->index_enabled = true;
+  ASSERT_TRUE(session.Execute("CREATE TABLE t (v)").ok());
+  ASSERT_TRUE(session.Execute("INSERT INTO t VALUES (Normal(5, 1))").ok());
+  ASSERT_TRUE(session.Execute("SET FIXED_SAMPLES = 300").ok());
+  const std::string query = "SELECT expectation(v) FROM t";
+
+  ASSERT_TRUE(failpoints::ArmFromSpec("index.insert_alloc=error").ok());
+  sql::SqlResult first = session.Execute(query);
+  ASSERT_TRUE(first.ok()) << first.ToString();  // Query itself unharmed.
+  // Repeats recompute (the backfill was dropped) yet stay identical.
+  sql::SqlResult second = session.Execute(query);
+  failpoints::DisarmAll();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.ToString(), first.ToString());
+  EXPECT_GT(db.result_index_stats().insert_failures, 0u);
+  EXPECT_EQ(db.result_index_stats().entries, 0u);
+
+  // With the site disarmed the index fills again.
+  sql::SqlResult third = session.Execute(query);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.ToString(), first.ToString());
+  EXPECT_GT(db.result_index_stats().entries, 0u);
+}
+
+TEST_F(FailpointTest, ShowFailpointsListsArmedSites) {
+  Database db(1);
+  sql::Session session(&db);
+  sql::SqlResult empty = session.Execute("SHOW FAILPOINTS");
+  ASSERT_TRUE(empty.ok()) << empty.ToString();
+  EXPECT_EQ(empty.table.num_rows(), 0u);
+
+  ASSERT_TRUE(
+      failpoints::ArmFromSpec("wire.send_error=error(0.5);pool.task=sleep(2)")
+          .ok());
+  sql::SqlResult listed = session.Execute("SHOW FAILPOINTS");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.table.num_rows(), 2u);
+  // Sorted by site; action rendering round-trips the armed spec.
+  EXPECT_EQ(listed.table.rows()[0][0].string_value(), "pool.task");
+  EXPECT_EQ(listed.table.rows()[1][0].string_value(), "wire.send_error");
+  EXPECT_NE(listed.table.rows()[1][1].string_value().find("error"),
+            std::string::npos);
+  failpoints::DisarmAll();
+}
+
+}  // namespace
+}  // namespace pip

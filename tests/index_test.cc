@@ -271,7 +271,7 @@ TEST_F(IndexSqlTest, ShowIndexAndKnobsSurfaces) {
   sql::SqlResult index = Run("SHOW INDEX");
   EXPECT_EQ(index.table.schema().columns(),
             (std::vector<std::string>{"metric", "value"}));
-  EXPECT_EQ(index.table.num_rows(), 9u);
+  EXPECT_EQ(index.table.num_rows(), 10u);  // incl. insert_failures
   EXPECT_EQ(index.table.row(0)[0].string_value(), "entries");
 
   // Bad knob values are rejected; good ones round-trip through SHOW.

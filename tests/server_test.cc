@@ -43,7 +43,7 @@ TEST(AdmissionGateTest, BoundsConcurrency) {
   for (int i = 0; i < 8; ++i) {
     threads.emplace_back([&] {
       for (int j = 0; j < 25; ++j) {
-        AdmissionGate::Ticket ticket = gate.Acquire();
+        AdmissionGate::Ticket ticket = gate.Acquire().value();
         int now = in_flight.fetch_add(1) + 1;
         int seen = max_seen.load();
         while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
@@ -63,8 +63,8 @@ TEST(AdmissionGateTest, BoundsConcurrency) {
 
 TEST(AdmissionGateTest, ZeroCapacityIsUnlimited) {
   AdmissionGate gate(0);
-  AdmissionGate::Ticket a = gate.Acquire();
-  AdmissionGate::Ticket b = gate.Acquire();
+  AdmissionGate::Ticket a = gate.Acquire().value();
+  AdmissionGate::Ticket b = gate.Acquire().value();
   EXPECT_EQ(a.wait_us(), 0u);
   EXPECT_EQ(gate.stats().in_flight, 2u);
 }
@@ -72,7 +72,7 @@ TEST(AdmissionGateTest, ZeroCapacityIsUnlimited) {
 TEST(AdmissionGateTest, MovedTicketReleasesOnce) {
   AdmissionGate gate(1);
   {
-    AdmissionGate::Ticket a = gate.Acquire();
+    AdmissionGate::Ticket a = gate.Acquire().value();
     AdmissionGate::Ticket b = std::move(a);
     EXPECT_EQ(gate.stats().in_flight, 1u);
   }
@@ -81,8 +81,8 @@ TEST(AdmissionGateTest, MovedTicketReleasesOnce) {
 
 TEST(AdmissionGateTest, WeightedTicketsShareTheWindow) {
   AdmissionGate gate(4);
-  AdmissionGate::Ticket heavy = gate.Acquire(3);
-  AdmissionGate::Ticket light = gate.Acquire(1);  // Fits alongside.
+  AdmissionGate::Ticket heavy = gate.Acquire(3).value();
+  AdmissionGate::Ticket light = gate.Acquire(1).value();  // Fits alongside.
   EXPECT_EQ(heavy.weight(), 3u);
   EXPECT_EQ(light.weight(), 1u);
   AdmissionGate::Stats stats = gate.stats();
@@ -95,7 +95,7 @@ TEST(AdmissionGateTest, OversizedWeightClampsToCapacity) {
   AdmissionGate gate(2);
   // A statement heavier than the whole window must still run (alone)
   // instead of deadlocking.
-  AdmissionGate::Ticket huge = gate.Acquire(100);
+  AdmissionGate::Ticket huge = gate.Acquire(100).value();
   EXPECT_EQ(huge.weight(), 2u);
   EXPECT_EQ(gate.stats().in_flight_weight, 2u);
 }
@@ -105,10 +105,10 @@ TEST(AdmissionGateTest, HeavyReleaseUnblocksMultipleLight) {
   std::atomic<int> done{0};
   std::vector<std::thread> threads;
   {
-    AdmissionGate::Ticket heavy = gate.Acquire(3);  // Fills the window.
+    AdmissionGate::Ticket heavy = gate.Acquire(3).value();  // Fills the window.
     for (int i = 0; i < 3; ++i) {
       threads.emplace_back([&] {
-        AdmissionGate::Ticket light = gate.Acquire(1);
+        AdmissionGate::Ticket light = gate.Acquire(1).value();
         done.fetch_add(1);
       });
     }
@@ -130,7 +130,7 @@ TEST(AdmissionGateTest, WeightedBoundHoldsUnderContention) {
     threads.emplace_back([&, i] {
       size_t weight = 1 + static_cast<size_t>(i % 3);
       for (int j = 0; j < 25; ++j) {
-        AdmissionGate::Ticket ticket = gate.Acquire(weight);
+        AdmissionGate::Ticket ticket = gate.Acquire(weight).value();
         int now = weight_in_flight.fetch_add(static_cast<int>(weight)) +
                   static_cast<int>(weight);
         int seen = max_seen.load();
